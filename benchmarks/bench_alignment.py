@@ -1,0 +1,84 @@
+"""E7 — Lemma 10: the ALIGNED(W) transform loses at most 4x slack.
+
+Two measurements:
+
+1. **Span retention.** For every window, |ALIGNED(W)| >= |W|/4 (the
+   geometric fact Lemma 10 rests on). We sweep all windows up to a
+   horizon and report the worst retention ratio.
+
+2. **Slack retention.** For random unaligned instances, the measured
+   density-underallocation factor of ALIGNED(J) is at least 1/4 of the
+   original's (Lemma 10 states the certified form: 4*gamma -> gamma).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.alignment import align_jobs
+from repro.core import Job, Window
+from repro.feasibility import underallocation_factor
+from repro.sim import format_table
+from repro.sim.report import experiment_header
+
+
+def worst_span_retention(horizon: int) -> Fraction:
+    worst = Fraction(1)
+    for release in range(horizon):
+        for deadline in range(release + 1, horizon + 1):
+            w = Window(release, deadline)
+            ratio = Fraction(w.aligned_within().span, w.span)
+            if ratio < worst:
+                worst = ratio
+    return worst
+
+
+def random_instance(rng, n: int, horizon: int) -> dict:
+    jobs = {}
+    for i in range(n):
+        span = int(rng.integers(1, horizon // 4))
+        start = int(rng.integers(0, horizon - span))
+        jobs[i] = Job(i, Window(start, start + span))
+    return jobs
+
+
+def test_e7_span_retention(benchmark, record_result):
+    worst = benchmark.pedantic(lambda: worst_span_retention(96),
+                               rounds=1, iterations=1)
+    record_result(
+        "e7a_span_retention",
+        experiment_header("E7a", "ALIGNED(W) keeps > 1/4 of every span")
+        + f"\nworst |ALIGNED(W)|/|W| over all windows in [0, 96): {worst} "
+        f"(= {float(worst):.4f}; bound: > 1/4)",
+    )
+    assert worst > Fraction(1, 4)
+
+
+def test_e7_slack_retention(benchmark, record_result):
+    rng = np.random.default_rng(0)
+    rows = []
+    worst_ratio = Fraction(10)
+
+    def sweep():
+        nonlocal worst_ratio
+        for trial in range(12):
+            jobs = random_instance(rng, n=14, horizon=128)
+            before = underallocation_factor(jobs.values(), 1)
+            after = underallocation_factor(align_jobs(jobs).values(), 1)
+            ratio = after / before
+            worst_ratio = min(worst_ratio, ratio)
+            rows.append([trial, f"{float(before):.2f}", f"{float(after):.2f}",
+                         f"{float(ratio):.3f}"])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["trial", "gamma before", "gamma after ALIGNED", "ratio"],
+        rows,
+        title=experiment_header(
+            "E7b", "Lemma 10: aligning keeps >= 1/4 of the slack"),
+    )
+    table += f"\nworst ratio: {float(worst_ratio):.3f} (bound: >= 0.25)"
+    record_result("e7b_slack_retention", table)
+    assert worst_ratio >= Fraction(1, 4)

@@ -1,0 +1,95 @@
+"""E13 — extension: the cost of adding/dropping machines (Section 7).
+
+The paper's open question: what if machines can be added or dropped?
+Our elastic delegation layer re-establishes the per-window balance
+invariant with the minimum number of migrations. This bench measures
+that cost as a function of load n and machine count m.
+
+Expected shapes (argued in ``multimachine/elastic.py``):
+- add_machine at m machines, n jobs: ~n/(m+1) migrations (linear in n);
+- remove_machine: ~n/m migrations (linear in n);
+- regular insert/delete guarantees are unaffected afterwards (<= 1
+  migration per request).
+
+The linear-in-n shape is the finding: machine elasticity is inherently
+a bulk-reallocation event, unlike job churn.
+"""
+
+from __future__ import annotations
+
+from repro.core import Job, Window
+from repro.multimachine import ElasticScheduler
+from repro.reservation import AlignedReservationScheduler
+from repro.sim import fit_growth, format_series
+from repro.sim.report import experiment_header
+
+
+def loaded_scheduler(n: int, m: int) -> ElasticScheduler:
+    s = ElasticScheduler(m, lambda: AlignedReservationScheduler())
+    spans = [64, 128, 256, 1024]
+    for i in range(n):
+        span = spans[i % len(spans)]
+        start = (i % 4) * 1024
+        s.insert(Job(i, Window(start, start + span) if span != 1024
+                     else Window(start, start + 1024)))
+    return s
+
+
+def test_e13_elasticity_cost_linear_in_n(benchmark, record_result):
+    m = 4
+    ns = [32, 64, 128, 256]
+    add_costs, remove_costs = [], []
+
+    def sweep():
+        for n in ns:
+            s = loaded_scheduler(n, m)
+            add_costs.append(s.add_machine().migration_cost)
+            s2 = loaded_scheduler(n, m)
+            remove_costs.append(s2.remove_machine(0).migration_cost)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_series(
+        "n", ns,
+        {
+            f"add_machine migrations (m={m})": add_costs,
+            f"remove_machine migrations (m={m})": remove_costs,
+            "n/(m+1)": [n // (m + 1) for n in ns],
+            "n/m": [n // m for n in ns],
+        },
+        title=experiment_header(
+            "E13", "extension: machine elasticity costs Theta(n/m) "
+            "migrations per event (Section 7 open question)",
+        ),
+    )
+    add_fit = fit_growth(ns, add_costs)
+    table += f"\nadd_machine growth in n: {add_fit.best}"
+    record_result("e13_elastic", table)
+    assert add_fit.best == "linear"
+    for n, c in zip(ns, add_costs):
+        assert c <= n // (m + 1) + 8  # minimal-move rebalance, small slop
+    for n, c in zip(ns, remove_costs):
+        assert n // m - 4 <= c <= n // m + 8
+
+
+def test_e13_guarantees_survive_elasticity(benchmark, record_result):
+    def run():
+        s = loaded_scheduler(64, 2)
+        s.add_machine()
+        s.add_machine()
+        s.remove_machine(1)
+        worst = 0
+        for i in range(64, 96):
+            worst = max(worst, s.insert(
+                Job(i, Window(0, 1024))).migration_cost)
+        for i in range(40):
+            worst = max(worst, s.delete(i).migration_cost)
+        s.check_balance()
+        return worst
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "e13b_guarantees",
+        experiment_header("E13b", "Section 3 guarantees survive elasticity")
+        + f"\nworst migration count over 72 post-elasticity requests: {worst}",
+    )
+    assert worst <= 1

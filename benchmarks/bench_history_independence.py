@@ -1,0 +1,96 @@
+"""E11 — Observation 7: fulfilled reservations are history independent.
+
+The paper: "Which reservations in which intervals are fulfilled and
+which are waitlisted is history independent. The actual placement of the
+jobs is not." Our implementation makes the first half true *by
+construction* (fulfillment is a pure function of demand and allowance);
+this experiment verifies it end to end: drive the same final active set
+through many different histories (permuted insert orders, with decoy
+jobs inserted and deleted along the way) and compare
+
+- the fulfilled-reservation multiset per interval — must be identical
+  across histories (for single-level instances, where the allowance is
+  the full interval); and
+- the job placements — expected to differ (we report the count of
+  differing histories as a sanity check that the test has power).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Job, Window
+from repro.reservation import AlignedReservationScheduler
+from repro.sim.report import experiment_header
+
+
+def fulfilled_signature(sched: AlignedReservationScheduler):
+    sig = {}
+    for level, table in sched.intervals.items():
+        for idx, iv in table.items():
+            entries = tuple(sorted(
+                ((w.release, w.deadline), c)
+                for w, c in iv.target_fulfilled().items() if c > 0
+            ))
+            sig[(level, idx)] = entries
+    return sig
+
+
+def build_history(seed: int):
+    """Same final active set (level-1 jobs only), scrambled history."""
+    rng = np.random.default_rng(seed)
+    final_jobs = [Job(f"j{i}", Window(64 * (i % 4), 64 * (i % 4) + 64))
+                  for i in range(10)]
+    decoys = [Job(f"d{i}", Window(256, 512)) for i in range(3)]
+    sched = AlignedReservationScheduler()
+    order = list(final_jobs)
+    rng.shuffle(order)
+    cut = int(rng.integers(0, len(order) + 1))
+    for job in order[:cut]:
+        sched.insert(job)
+    for d in decoys:
+        sched.insert(d)
+    for job in order[cut:]:
+        sched.insert(job)
+    for d in decoys:
+        sched.delete(d.id)
+    return sched
+
+
+def test_e11_fulfillment_history_independent(benchmark, record_result):
+    signatures = []
+    placements = []
+
+    def sweep():
+        for seed in range(12):
+            sched = build_history(seed)
+            signatures.append(fulfilled_signature(sched))
+            placements.append(tuple(sorted(
+                (str(k), v.slot) for k, v in sched.placements.items()
+            )))
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Compare fulfilled signatures on the intervals common to all runs
+    # (decoy intervals may or may not stay materialized).
+    common = set(signatures[0])
+    for sig in signatures[1:]:
+        common &= set(sig)
+    mismatches = 0
+    for key in common:
+        baseline = signatures[0][key]
+        for sig in signatures[1:]:
+            if sig[key] != baseline:
+                mismatches += 1
+    distinct_placements = len(set(placements))
+    record_result(
+        "e11_history_independence",
+        experiment_header("E11", "Observation 7: fulfillment history-independent")
+        + f"\nhistories: 12; common intervals: {len(common)}; "
+        f"fulfillment mismatches: {mismatches}"
+        + f"\ndistinct job-placement outcomes: {distinct_placements} "
+        "(placements are NOT history independent, as the paper notes)",
+    )
+    assert len(common) >= 8  # the 4 level-1 windows' intervals persist
+    assert mismatches == 0
+    assert distinct_placements >= 2

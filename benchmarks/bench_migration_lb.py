@@ -1,0 +1,65 @@
+"""E4 — Lemma 11: Omega(s) migrations without underallocation.
+
+Runs the adaptive adversary (insert 2m span-2 jobs / delete the first
+m/2 machines' jobs / insert m span-1 jobs / delete all) against exact
+schedulers and checks the measured migrations against the paper's s/12
+bound. The total must grow *linearly* in the request count s — the
+shape that makes per-request migration cost Omega(1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import run_migration_adversary
+from repro.baselines import EDFRebuildScheduler, MinChangeMatchingScheduler
+from repro.sim import fit_growth, format_series
+from repro.sim.report import experiment_header
+
+
+@pytest.mark.parametrize("m", [2, 4, 8])
+def test_e4_migrations_linear_in_s(benchmark, record_result, m):
+    rounds_list = [2, 4, 8, 16]
+    ss, migrations, bounds = [], [], []
+    for rounds in rounds_list:
+        result = run_migration_adversary(EDFRebuildScheduler(m), rounds)
+        ss.append(result.requests)
+        migrations.append(result.total_migrations)
+        bounds.append(result.lower_bound)
+    table = format_series(
+        "s (requests)", ss,
+        {
+            "measured migrations (EDF)": migrations,
+            "paper bound s/12": [round(b, 1) for b in bounds],
+            "m/2 per round": [r * m // 2 for r in rounds_list],
+        },
+        title=experiment_header(
+            f"E4 (m={m})", "Lemma 11: any scheduler pays Omega(s) migrations"
+        ),
+    )
+    fit = fit_growth(ss, migrations)
+    table += f"\ngrowth fit: best={fit.best}"
+    record_result(f"e4_migration_lb_m{m}", table)
+    # The bound: at least m/2 migrations per round == s/12.
+    for mig, bound in zip(migrations, bounds):
+        assert mig >= bound
+    assert fit.best == "linear"
+    benchmark.pedantic(
+        lambda: run_migration_adversary(EDFRebuildScheduler(m), 4),
+        rounds=1, iterations=1,
+    )
+
+
+def test_e4_optimal_scheduler_also_pays(benchmark, record_result):
+    """The bound binds the per-request-optimal scheduler too."""
+    result = benchmark.pedantic(
+        lambda: run_migration_adversary(MinChangeMatchingScheduler(2), 6),
+        rounds=1, iterations=1,
+    )
+    record_result(
+        "e4_optimal_also_pays",
+        experiment_header("E4b", "Lemma 11 vs the min-change matcher")
+        + f"\nrequests={result.requests} migrations={result.total_migrations} "
+        f"bound={result.lower_bound:.1f}",
+    )
+    assert result.total_migrations >= result.rounds  # m/2 = 1 per round

@@ -1,0 +1,107 @@
+"""E10 — systems throughput: requests/second per scheduler.
+
+The engineering table: how fast is each scheduler at processing the
+same 8-underallocated churn sequence (no feasibility verification in
+the timed region)? The reservation scheduler does O(poly(L_l)) local
+work per request; the rebuild baselines pay O(n log n) (EDF/LLF) or
+O(n^3) (matching) per request, so their throughput collapses as n
+grows. pytest-benchmark provides the timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    EDFRebuildScheduler,
+    LLFRebuildScheduler,
+    MinChangeMatchingScheduler,
+    NaivePeckingScheduler,
+)
+from repro.core.api import ReservationScheduler
+from repro.reservation import AlignedReservationScheduler
+from repro.sim import run_sequence
+from repro.workloads import AlignedWorkloadConfig, random_aligned_sequence
+
+
+def make_sequence(num_requests=400, seed=0):
+    cfg = AlignedWorkloadConfig(
+        num_requests=num_requests, gamma=8, horizon=1 << 11,
+        max_span=1 << 11, delete_fraction=0.35,
+    )
+    return random_aligned_sequence(cfg, seed=seed)
+
+
+SEQ = make_sequence()
+SMALL_SEQ = make_sequence(num_requests=120, seed=1)
+
+FACTORIES = {
+    "reservation_raw": (lambda: AlignedReservationScheduler(), SEQ),
+    "reservation_theorem1": (lambda: ReservationScheduler(1, gamma=8), SEQ),
+    "naive_pecking": (lambda: NaivePeckingScheduler(), SEQ),
+    "edf_rebuild": (lambda: EDFRebuildScheduler(1), SEQ),
+    "llf_rebuild": (lambda: LLFRebuildScheduler(1), SEQ),
+    "minchange_matching": (lambda: MinChangeMatchingScheduler(1), SMALL_SEQ),
+}
+
+
+@pytest.mark.parametrize("name", list(FACTORIES))
+def test_e10_throughput(benchmark, name):
+    factory, seq = FACTORIES[name]
+
+    def kernel():
+        run_sequence(factory(), seq, verify_each=False)
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)
+    benchmark.extra_info["requests"] = len(seq)
+    benchmark.extra_info["requests_per_second"] = (
+        len(seq) / benchmark.stats.stats.mean
+    )
+
+
+def test_e10b_scaling_crossover(benchmark, record_result):
+    """EDF's per-request time grows with n (it rebuilds the whole
+    schedule); the reservation scheduler's per-request time does not.
+    This measures the scaling direction behind the crossover claim."""
+    import time
+
+    from repro.sim.report import experiment_header, format_series
+
+    def per_request_us(factory, n_target, seed):
+        horizon = 1 << max(10, (16 * n_target - 1).bit_length())
+        cfg = AlignedWorkloadConfig(
+            num_requests=3 * n_target, gamma=8, horizon=horizon,
+            max_span=horizon, delete_fraction=0.25,
+        )
+        seq = random_aligned_sequence(cfg, seed=seed)
+        sched = factory()
+        t0 = time.perf_counter()
+        run_sequence(sched, seq, verify_each=False)
+        return 1e6 * (time.perf_counter() - t0) / len(seq)
+
+    ns = [64, 256, 1024]
+    edf_us, res_us = [], []
+
+    def sweep():
+        for n in ns:
+            edf_us.append(round(per_request_us(
+                lambda: EDFRebuildScheduler(1), n, seed=0), 1))
+            res_us.append(round(per_request_us(
+                lambda: AlignedReservationScheduler(), n, seed=0), 1))
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_series(
+        "n", ns,
+        {"EDF us/request": edf_us, "reservation us/request": res_us},
+        title=experiment_header(
+            "E10b", "per-request wall time scaling: rebuilds grow with n, "
+            "reservations do not",
+        ),
+    )
+    edf_growth = edf_us[-1] / edf_us[0]
+    res_growth = res_us[-1] / res_us[0]
+    table += (f"\ngrowth n=64 -> n=1024: EDF {edf_growth:.1f}x, "
+              f"reservation {res_growth:.1f}x")
+    record_result("e10b_scaling", table)
+    # EDF's per-request time grows markedly faster than reservation's.
+    assert edf_growth > 3 * res_growth

@@ -1,0 +1,33 @@
+"""Shared fixtures for the experiment benchmark suite.
+
+Every bench writes its experiment table to ``benchmarks/results/<exp>.txt``
+(so the series survive pytest's output capture) and asserts the paper's
+qualitative claim (growth shape / bound), so a failing bench means the
+reproduction broke, not just that numbers drifted.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """record_result(name, text): persist + echo an experiment table."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

@@ -1,0 +1,46 @@
+"""repro — reproduction of "Reallocation Problems in Scheduling"
+(Bender, Farach-Colton, Fekete, Fineman, Gilbert; SPAA 2013).
+
+Public API quick reference
+--------------------------
+- :class:`repro.ReservationScheduler` — the paper's Theorem 1 scheduler
+  (multi-machine, unaligned windows, O(log* n) reallocations/request,
+  at most one migration/request).
+- :mod:`repro.baselines` — EDF/LLF rebuilds, the naive pecking-order
+  scheduler (Lemma 4), the per-request-optimal matcher.
+- :mod:`repro.workloads` / :mod:`repro.adversaries` — request-sequence
+  generators, including the paper's lower-bound constructions.
+- :mod:`repro.sim` — the driver that feeds requests to schedulers while
+  verifying feasibility after every request and ledgering costs.
+"""
+
+from .core import (
+    CostLedger,
+    InfeasibleError,
+    InvalidRequestError,
+    Job,
+    Placement,
+    ReallocatingScheduler,
+    RequestCost,
+    RequestSequence,
+    UnderallocationError,
+    ValidationError,
+    Window,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostLedger",
+    "InfeasibleError",
+    "InvalidRequestError",
+    "Job",
+    "Placement",
+    "ReallocatingScheduler",
+    "RequestCost",
+    "RequestSequence",
+    "UnderallocationError",
+    "ValidationError",
+    "Window",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""The paper's lower-bound constructions (Section 6 and Observation 13)."""
+
+from .migration_lb import MigrationAdversaryResult, run_migration_adversary
+from .realloc_lb import ReallocLowerBound, staircase_toggle_sequence
+from .sized_lb import SizedLowerBound, sized_pump_sequence
+
+__all__ = [
+    "MigrationAdversaryResult",
+    "run_migration_adversary",
+    "ReallocLowerBound",
+    "staircase_toggle_sequence",
+    "SizedLowerBound",
+    "sized_pump_sequence",
+]

@@ -1,0 +1,74 @@
+"""Lemma 12: the Omega(s^2) reallocation lower bound (staircase toggle).
+
+Without underallocation, length-s request sequences exist on which *any*
+scheduler reschedules Theta(s^2) jobs in total. The construction:
+
+- eta = s/2 standing jobs, job j with window [j, j+2) — a staircase in
+  which each job has exactly two admissible slots and consecutive jobs
+  overlap in one slot;
+- a probe job toggling between window [0, 1) (forcing every staircase
+  job into its *later* slot) and window [eta, eta+1) (forcing every job
+  into its *earlier* slot).
+
+Each toggle therefore moves all eta jobs: Omega(eta) per probe request,
+Omega(eta^2) = Omega(s^2) total. The staircase windows are deliberately
+unaligned and exactly allocated — the instance is feasible throughout
+but has zero slack, the regime Section 6 analyzes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.requests import RequestSequence
+
+
+def staircase_toggle_sequence(eta: int, toggles: int | None = None) -> RequestSequence:
+    """Build the Lemma 12 request sequence.
+
+    Parameters
+    ----------
+    eta:
+        Number of standing staircase jobs (the paper's s/2).
+    toggles:
+        Number of probe insert/delete pairs; defaults to eta (the
+        paper's choice, giving a length-Theta(eta) tail and total cost
+        Theta(eta^2)).
+    """
+    if eta < 1:
+        raise ValueError("eta must be >= 1")
+    if toggles is None:
+        toggles = eta
+    seq = RequestSequence()
+    for j in range(eta):
+        seq.insert(f"stair{j}", j, j + 2)
+    for t in range(toggles):
+        if t % 2 == 0:
+            # Force everyone late: probe pins slot 0.
+            seq.insert(f"probe{t}", 0, 1)
+        else:
+            # Force everyone early: probe pins slot eta.
+            seq.insert(f"probe{t}", eta, eta + 1)
+        seq.delete(f"probe{t}")
+    return seq
+
+
+@dataclass(frozen=True)
+class ReallocLowerBound:
+    """Predicted cost bounds for a staircase run (for report overlays)."""
+
+    eta: int
+    toggles: int
+
+    @property
+    def requests(self) -> int:
+        return self.eta + 2 * self.toggles
+
+    @property
+    def min_total_reallocations(self) -> int:
+        """Every toggle after the first forces >= eta-1 moves.
+
+        The first probe may find the staircase already in its preferred
+        parity; all later probes flip it.
+        """
+        return max(0, self.toggles - 1) * (self.eta - 1)

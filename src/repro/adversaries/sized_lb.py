@@ -1,0 +1,72 @@
+"""Observation 13: the Omega(k*n) lower bound for mixed job sizes.
+
+With unit jobs and size-k jobs together, no reallocating scheduler can
+do well even under arbitrary constant underallocation. The paper's
+construction on a schedule of length M = 2*gamma*k:
+
+- k standing unit jobs with the full window [0, M);
+- one size-k job p with a span-k window, deleted and re-inserted with
+  windows [0, k), [k, 2k), ..., [M-k, M), then wrapping, for n sweeps.
+
+Wherever p lands it covers k slots, evicting every unit job sitting
+there; since the unit jobs have total freedom, any scheduler pays
+Omega(k) per hop of p amortized over the sweep, i.e. Omega(k*n) over
+Theta(n) requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.requests import RequestSequence
+
+
+def sized_pump_sequence(k: int, gamma: int, sweeps: int) -> RequestSequence:
+    """Build the Observation 13 request sequence.
+
+    Parameters
+    ----------
+    k:
+        Size of the large job (and the count of standing unit jobs).
+    gamma:
+        Slack constant; the horizon is ``2 * gamma * k`` so the unit
+        jobs remain gamma-underallocated throughout.
+    sweeps:
+        How many times the size-k job sweeps across the horizon.
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2 (size-1 jobs are the unit case)")
+    if gamma < 1:
+        raise ValueError("gamma must be >= 1")
+    horizon = 2 * gamma * k
+    seq = RequestSequence()
+    for i in range(k):
+        seq.insert(f"u{i}", 0, horizon)
+    uid = 0
+    positions = list(range(0, horizon - k + 1, k))
+    seq.insert(f"p{uid}", positions[0], positions[0] + k, size=k)
+    for _ in range(sweeps):
+        for pos in positions[1:] + positions[:1]:
+            seq.delete(f"p{uid}")
+            uid += 1
+            seq.insert(f"p{uid}", pos, pos + k, size=k)
+    return seq
+
+
+@dataclass(frozen=True)
+class SizedLowerBound:
+    """Predicted totals for the sized pump (report overlays)."""
+
+    k: int
+    gamma: int
+    sweeps: int
+
+    @property
+    def requests(self) -> int:
+        hops = self.sweeps * (2 * self.gamma)
+        return self.k + 1 + 2 * hops
+
+    @property
+    def min_total_reallocations(self) -> int:
+        """Each full sweep evicts every unit job at least once: k per sweep."""
+        return self.sweeps * self.k

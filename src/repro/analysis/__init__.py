@@ -1,0 +1,26 @@
+"""Analysis helpers: iterated logs, bound overlays, growth-rate fitting."""
+
+from .bounds import (
+    PAPER_SLACK,
+    SlackBudget,
+    lemma4_cost_bound,
+    lemma11_migration_bound,
+    lemma12_reallocation_bound,
+    observation13_bound,
+    theorem1_cost_bound,
+)
+from .logstar import log_star, paper_level_count, paper_thresholds, tower
+
+__all__ = [
+    "PAPER_SLACK",
+    "SlackBudget",
+    "lemma4_cost_bound",
+    "lemma11_migration_bound",
+    "lemma12_reallocation_bound",
+    "observation13_bound",
+    "theorem1_cost_bound",
+    "log_star",
+    "paper_level_count",
+    "paper_thresholds",
+    "tower",
+]

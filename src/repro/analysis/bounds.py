@@ -1,0 +1,104 @@
+"""Per-theorem bound calculators: overlay theory on measured series.
+
+Each function returns the paper's predicted value for a claim at given
+parameters, so reports can print "measured vs bound" columns without
+re-deriving constants inline. Upper bounds carry an explicit
+``constant`` knob since the paper proves asymptotics only; lower bounds
+(Lemmas 11/12, Observation 13) are exact counts from the constructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .logstar import log_star, paper_level_count
+
+
+def theorem1_cost_bound(n: int, delta: int, constant: float = 3.0) -> float:
+    """Theorem 1 upper bound: constant * min(log* n, log* Delta).
+
+    ``constant`` absorbs the per-level O(1): with our implementation
+    each level contributes at most ~3 moves per request (two
+    reservation-revocation MOVEs plus the PLACE displacement chain
+    visiting each level once).
+    """
+    if n < 1 or delta < 1:
+        raise ValueError("n and delta must be >= 1")
+    return constant * max(1, min(log_star(n), log_star(delta)))
+
+
+def lemma4_cost_bound(n: int, delta: int) -> int:
+    """Lemma 4 upper bound: min(log2 n, log2 Delta) + 1 displaced jobs.
+
+    The naive cascade displaces at most one job per distinct aligned
+    span; the distinct spans number log2(Delta) (or log2(n) after
+    trimming).
+    """
+    if n < 1 or delta < 1:
+        raise ValueError("n and delta must be >= 1")
+    return min(max(n, 2).bit_length(), max(delta, 2).bit_length())
+
+
+def lemma11_migration_bound(s: int) -> float:
+    """Lemma 11 lower bound: s/12 migrations over s requests."""
+    if s < 0:
+        raise ValueError("s must be >= 0")
+    return s / 12
+
+
+def lemma12_reallocation_bound(eta: int, toggles: int) -> int:
+    """Lemma 12 lower bound for the staircase: (toggles-1) * (eta-1)."""
+    if eta < 1 or toggles < 0:
+        raise ValueError("eta >= 1, toggles >= 0 required")
+    return max(0, toggles - 1) * (eta - 1)
+
+
+def observation13_bound(k: int, sweeps: int) -> int:
+    """Observation 13 lower bound: k evictions per sweep of the big job."""
+    if k < 1 or sweeps < 0:
+        raise ValueError("k >= 1, sweeps >= 0 required")
+    return k * sweeps
+
+
+def levels_touched(delta: int) -> int:
+    """Number of reservation levels a span-delta instance exercises."""
+    return paper_level_count(delta)
+
+
+@dataclass(frozen=True)
+class SlackBudget:
+    """The slack bookkeeping of the Theorem 1 composition.
+
+    Tracks how the underallocation constant multiplies through the
+    layers, mirroring the proof: ALIGNED costs 4x (Lemma 10), the
+    machine reduction costs 6x (Lemma 3), and the single-machine
+    reservation core needs 8x (Lemma 8).
+    """
+
+    reservation_gamma: int = 8   # Lemma 8
+    alignment_factor: int = 4    # Lemma 10
+    delegation_factor: int = 6   # Lemma 3
+
+    @property
+    def composed_gamma(self) -> int:
+        """The γ Theorem 1's statement needs for unaligned m-machine input."""
+        return (self.reservation_gamma * self.alignment_factor
+                * self.delegation_factor)
+
+    def requirement_at(self, layer: str) -> int:
+        """Required underallocation entering a given layer.
+
+        ``"input"`` -> composed; ``"aligned"`` -> after ALIGNED;
+        ``"machine"`` -> per-machine single-machine instance.
+        """
+        if layer == "input":
+            return self.composed_gamma
+        if layer == "aligned":
+            return self.reservation_gamma * self.delegation_factor
+        if layer == "machine":
+            return self.reservation_gamma
+        raise ValueError(f"unknown layer {layer!r}")
+
+
+#: The paper's (unoptimized) slack budget: 8 * 4 * 6 = 192.
+PAPER_SLACK = SlackBudget()

@@ -1,0 +1,83 @@
+"""Iterated-logarithm and tower-function utilities.
+
+The paper's headline bound is ``O(min{log* n, log* Delta})`` where the
+levels thresholds grow as a tower: ``L_1 = 2**5`` and
+``L_{l+1} = 2**(L_l / 4)``. These helpers compute log*, towers, and the
+paper's specific threshold sequence, and are used both by the level
+policy and by the analysis/reporting code that overlays theoretical
+bounds on measured series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+
+def log_star(x: float, base: float = 2.0) -> int:
+    """Iterated logarithm: number of times log_base must be applied
+    before the value drops to <= 1.
+
+    ``log_star(1) == 0``, ``log_star(2) == 1``, ``log_star(4) == 2``,
+    ``log_star(16) == 3``, ``log_star(65536) == 4``.
+    """
+    if x <= 1:
+        return 0
+    count = 0
+    while x > 1:
+        x = math.log(x, base)
+        count += 1
+        if count > 64:  # pragma: no cover - unreachable for finite floats
+            break
+    return count
+
+
+def tower(height: int, base: float = 2.0) -> float:
+    """Power tower base^base^...^base of the given height (0 -> 1)."""
+    if height < 0:
+        raise ValueError("height must be >= 0")
+    value = 1.0
+    for _ in range(height):
+        value = base ** value
+        if value > 1e300:
+            return math.inf
+    return value
+
+
+def paper_thresholds(max_span: int) -> list[int]:
+    """The paper's threshold sequence L_1, L_2, ... up to >= max_span.
+
+    ``L_1 = 2**5 = 32`` and ``L_{l+1} = 2**(L_l // 4)``. Values are
+    exact ints (arbitrary precision), so very large thresholds are fine.
+    """
+    thresholds = [32]
+    while thresholds[-1] < max_span:
+        nxt = 1 << (thresholds[-1] // 4)
+        if nxt <= thresholds[-1]:  # pragma: no cover - defensive
+            raise AssertionError("threshold sequence must be strictly increasing")
+        thresholds.append(nxt)
+    return thresholds
+
+
+def paper_level_count(max_span: int) -> int:
+    """Number of reservation levels needed for windows up to max_span.
+
+    Level 0 (spans <= L_1) is the constant-size base level and is not
+    counted; this returns the number of reservation levels, which is
+    Theta(log* max_span).
+    """
+    if max_span <= 32:
+        return 0
+    return len(paper_thresholds(max_span)) - 1
+
+
+def iter_tower_sequence(l1: int, shift: int) -> Iterator[int]:
+    """Yield L_1, L_2, ... with L_{l+1} = 2**(L_l // shift), forever.
+
+    ``shift=4`` is the paper's sequence. The generator is infinite;
+    callers must bound iteration.
+    """
+    value = l1
+    while True:
+        yield value
+        value = 1 << (value // shift)

@@ -1,0 +1,30 @@
+"""Baseline reallocating schedulers the experiments compare against.
+
+- :class:`EDFRebuildScheduler` / :class:`LLFRebuildScheduler` — the
+  classical greedy policies the paper calls brittle (Section 1);
+- :class:`NaivePeckingScheduler` — the Lemma 4 warm-up with
+  O(log Delta) cascades;
+- :class:`MinChangeMatchingScheduler` — per-request-optimal
+  reallocation via the Hungarian method (our yardstick);
+- :class:`SizedGreedyScheduler` — first-fit rebuild for the sized-job
+  lower bound (Observation 13).
+"""
+
+from .edf import EDFRebuildScheduler, edf_schedule
+from .llf import LLFRebuildScheduler, llf_schedule
+from .matching import MinChangeMatchingScheduler
+from .naive_pecking import NaivePeckingScheduler
+from .sized_jobs import SizedGreedyScheduler, sized_first_fit
+from .uniform_sized import UniformSizedReservationScheduler
+
+__all__ = [
+    "UniformSizedReservationScheduler",
+    "EDFRebuildScheduler",
+    "edf_schedule",
+    "LLFRebuildScheduler",
+    "llf_schedule",
+    "MinChangeMatchingScheduler",
+    "NaivePeckingScheduler",
+    "SizedGreedyScheduler",
+    "sized_first_fit",
+]

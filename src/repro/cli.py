@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+- ``demo`` — run a short churn workload through the Theorem 1
+  scheduler and print the cost table (sanity check of an install).
+- ``compare`` — head-to-head cost comparison of all schedulers on a
+  generated workload (``--requests``, ``--machines``, ``--seed``).
+- ``generate`` — emit a workload as JSON (replayable with ``replay``).
+- ``replay`` — run a JSON request trace through a chosen scheduler,
+  verifying feasibility after every request.
+- ``bounds`` — print the paper's bound values at given parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.bounds import (
+    PAPER_SLACK,
+    lemma4_cost_bound,
+    lemma11_migration_bound,
+    lemma12_reallocation_bound,
+    theorem1_cost_bound,
+)
+from .baselines import (
+    EDFRebuildScheduler,
+    LLFRebuildScheduler,
+    MinChangeMatchingScheduler,
+    NaivePeckingScheduler,
+)
+from .core.api import ReservationScheduler
+from .core.requests import RequestSequence
+from .sim import format_table, run_comparison, run_sequence
+from .workloads import AlignedWorkloadConfig, random_aligned_sequence
+
+SCHEDULERS = {
+    "reservation": lambda m: ReservationScheduler(m, gamma=8),
+    "reservation-deamortized": lambda m: ReservationScheduler(
+        m, gamma=8, deamortized=True),
+    "edf": lambda m: EDFRebuildScheduler(m),
+    "llf": lambda m: LLFRebuildScheduler(m),
+    "naive": lambda m: (_require_single(m), NaivePeckingScheduler())[1],
+    "matching": lambda m: MinChangeMatchingScheduler(m),
+}
+
+
+def _require_single(m: int) -> None:
+    if m != 1:
+        raise SystemExit("the naive pecking scheduler is single-machine only")
+
+
+def _make_workload(args) -> RequestSequence:
+    cfg = AlignedWorkloadConfig(
+        num_requests=args.requests,
+        num_machines=args.machines,
+        gamma=args.gamma,
+        horizon=args.horizon,
+        max_span=args.horizon,
+        delete_fraction=args.delete_fraction,
+    )
+    return random_aligned_sequence(cfg, seed=args.seed)
+
+
+def cmd_demo(args) -> int:
+    seq = _make_workload(args)
+    sched = ReservationScheduler(args.machines, gamma=8)
+    result = run_sequence(sched, seq)
+    rows = [[k, v] for k, v in result.summary.items()]
+    print(format_table(["metric", "value"], rows,
+                       title=f"Theorem 1 scheduler on {len(seq)} requests"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    seq = _make_workload(args)
+    names = args.schedulers.split(",") if args.schedulers else [
+        "reservation", "edf", "llf"]
+    factories = {}
+    for name in names:
+        if name not in SCHEDULERS:
+            raise SystemExit(
+                f"unknown scheduler {name!r}; choices: {sorted(SCHEDULERS)}")
+        factories[name] = (lambda nm=name: SCHEDULERS[nm](args.machines))
+    results = run_comparison(factories, seq)
+    rows = []
+    for name, r in results.items():
+        s = r.summary
+        rows.append([name, s["max_realloc"], s["mean_realloc"],
+                     s["max_migration"], s["total_migrations"], s["wall_s"]])
+    print(format_table(
+        ["scheduler", "max realloc", "mean realloc", "max migr",
+         "total migr", "wall s"],
+        rows,
+        title=f"{len(seq)} requests, m={args.machines}, "
+              f"gamma={args.gamma}, seed={args.seed}",
+    ))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    seq = _make_workload(args)
+    out = seq.to_json()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out)
+        print(f"wrote {len(seq)} requests to {args.output}", file=sys.stderr)
+    else:
+        print(out)
+    return 0
+
+
+def cmd_replay(args) -> int:
+    with open(args.trace) as fh:
+        seq = RequestSequence.from_json(fh.read())
+    if args.scheduler not in SCHEDULERS:
+        raise SystemExit(
+            f"unknown scheduler {args.scheduler!r}; choices: {sorted(SCHEDULERS)}")
+    sched = SCHEDULERS[args.scheduler](args.machines)
+    result = run_sequence(sched, seq, stop_on_error=False)
+    rows = [[k, v] for k, v in result.summary.items()]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.scheduler} on {args.trace}"))
+    return 1 if result.failed else 0
+
+
+def cmd_bounds(args) -> int:
+    rows = [
+        ["Theorem 1 cost (3*log*)", theorem1_cost_bound(args.n, args.delta)],
+        ["Lemma 4 naive cost", lemma4_cost_bound(args.n, args.delta)],
+        ["Lemma 11 migrations (s=n)", lemma11_migration_bound(args.n)],
+        ["Lemma 12 staircase total (eta=n/2)",
+         lemma12_reallocation_bound(args.n // 2, args.n // 2)],
+        ["composed slack constant", PAPER_SLACK.composed_gamma],
+    ]
+    print(format_table(["bound", "value"], rows,
+                       title=f"paper bounds at n={args.n}, Delta={args.delta}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p):
+        p.add_argument("--requests", type=int, default=300)
+        p.add_argument("--machines", type=int, default=1)
+        p.add_argument("--gamma", type=int, default=8)
+        p.add_argument("--horizon", type=int, default=1 << 11)
+        p.add_argument("--delete-fraction", type=float, default=0.35,
+                       dest="delete_fraction")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("demo", help="run the Theorem 1 scheduler once")
+    add_workload_args(p)
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("compare", help="compare schedulers on one workload")
+    add_workload_args(p)
+    p.add_argument("--schedulers", default="",
+                   help="comma-separated subset of "
+                        f"{sorted(SCHEDULERS)}")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("generate", help="emit a workload trace as JSON")
+    add_workload_args(p)
+    p.add_argument("--output", default="")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("replay", help="replay a JSON trace")
+    p.add_argument("trace")
+    p.add_argument("--scheduler", default="reservation")
+    p.add_argument("--machines", type=int, default=1)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("bounds", help="print paper bounds at parameters")
+    p.add_argument("--n", type=int, default=1024)
+    p.add_argument("--delta", type=int, default=1 << 16)
+    p.set_defaults(func=cmd_bounds)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""The paper's Theorem 1 scheduler, assembled end to end.
+
+:class:`ReservationScheduler` composes the three constructions exactly
+as the proof of Theorem 1 does:
+
+1. **Align** (Section 5): each new job's window is replaced by
+   ``ALIGNED(W)`` (losing a factor <= 4 of slack, Lemma 10);
+2. **Delegate** (Section 3): the job is assigned to a machine by
+   per-window round-robin (losing a factor 6, Lemma 3; at most one
+   migration per request);
+3. **Reserve** (Section 4): each machine runs single-machine
+   pecking-order scheduling with reservations, with windows trimmed to
+   ``2 * gamma * n*`` (Lemma 9: ``O(min{log* n, log* Delta})``
+   reallocations per request).
+
+Guarantee: for gamma-underallocated request sequences (gamma a
+sufficiently large constant; the paper does not optimize it and neither
+do we — experiment E9 measures the empirical threshold), every request
+costs ``O(min{log* n, log* Delta})`` reallocations and at most one
+migration.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..alignment.align import align_job
+from ..levels.policy import LevelPolicy, PAPER_POLICY
+from ..multimachine.delegation import DelegatingScheduler
+from ..reservation.trimming import TrimmedReservationScheduler
+from .base import ReallocatingScheduler
+from .job import Job, JobId, Placement
+
+
+class ReservationScheduler(ReallocatingScheduler):
+    """Theorem 1: m-machine reallocating scheduler for unit jobs.
+
+    Parameters
+    ----------
+    num_machines:
+        Machine count m.
+    gamma:
+        Power-of-two slack constant used by the trimming layer.
+    policy:
+        Level decomposition policy (paper tower by default).
+    trim:
+        Disable to skip the n*-trimming layer (pure log* Delta bound);
+        enabled by default, giving the min{log* n, log* Delta} bound.
+    deamortized:
+        Use the even/odd-slot incremental rebuild (Section 4, end):
+        O(1) *worst-case* cost per request instead of O(1) amortized
+        with Theta(n) rebuild spikes. Requires twice the slack
+        (2*gamma-underallocated instances) and aligned spans >= 2, so
+        original windows must have span >= 5 to survive ALIGNED().
+
+    Example
+    -------
+    >>> from repro import Job, Window
+    >>> from repro.core.api import ReservationScheduler
+    >>> sched = ReservationScheduler(num_machines=2)
+    >>> cost = sched.insert(Job("patient-1", Window(3, 17)))
+    >>> cost.reallocation_cost
+    0
+    >>> sched.placements["patient-1"].slot in Window(3, 17)
+    True
+    """
+
+    def __init__(
+        self,
+        num_machines: int = 1,
+        *,
+        gamma: int = 8,
+        policy: LevelPolicy = PAPER_POLICY,
+        trim: bool = True,
+        deamortized: bool = False,
+    ) -> None:
+        super().__init__(num_machines=num_machines)
+        self.gamma = gamma
+        self.policy = policy
+        if deamortized:
+            from ..reservation.deamortized import DeamortizedReservationScheduler
+
+            def factory() -> ReallocatingScheduler:
+                return DeamortizedReservationScheduler(gamma=gamma, policy=policy)
+        elif trim:
+            def factory() -> ReallocatingScheduler:
+                return TrimmedReservationScheduler(gamma=gamma, policy=policy)
+        else:
+            from ..reservation.scheduler import AlignedReservationScheduler
+
+            def factory() -> ReallocatingScheduler:
+                return AlignedReservationScheduler(policy)
+        self.delegator = DelegatingScheduler(num_machines, factory)
+
+    @property
+    def placements(self) -> Mapping[JobId, Placement]:
+        return self.delegator.placements
+
+    def _apply_insert(self, job: Job) -> None:
+        self.delegator.insert(align_job(job))
+
+    def _apply_delete(self, job: Job) -> None:
+        self.delegator.delete(job.id)
+
+    # ------------------------------------------------------------------
+    def check_balance(self) -> None:
+        """Assert the Section 3 per-window balance invariant."""
+        self.delegator.check_balance()
+
+    def machine_schedulers(self) -> list[ReallocatingScheduler]:
+        """The per-machine single-machine schedulers (diagnostics)."""
+        return list(self.delegator.machines)

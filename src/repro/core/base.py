@@ -1,0 +1,131 @@
+"""The reallocating-scheduler interface.
+
+Every scheduler in this library — the paper's reservation scheduler, the
+naive pecking-order scheduler, EDF/LLF rebuilds, the per-request-optimal
+matcher — implements :class:`ReallocatingScheduler`. The base class
+standardizes cost measurement: subclasses implement ``_apply_insert`` /
+``_apply_delete`` mutating their internal placement map, and the base
+class diffs placements around each request to produce a
+:class:`~repro.core.costs.RequestCost`. That keeps cost accounting
+uniform and scheduler-independent, exactly as the paper's job-centered
+cost model demands.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+from .costs import CostLedger, RequestCost, diff_placements
+from .exceptions import InvalidRequestError
+from .job import Job, JobId, Placement
+from .requests import DeleteJob, InsertJob, Request
+
+
+class ReallocatingScheduler(abc.ABC):
+    """Base class for online schedulers that maintain a feasible schedule.
+
+    Parameters
+    ----------
+    num_machines:
+        Number of identical machines ``m``.
+
+    Subclass contract
+    -----------------
+    - ``_apply_insert(job)`` must place ``job`` (and may move others).
+    - ``_apply_delete(job)`` must unplace ``job`` (and may move others).
+    - ``placements`` must always reflect the live schedule.
+
+    Subclasses must raise :class:`InfeasibleError` /
+    :class:`UnderallocationError` *before* corrupting state, or restore
+    state on failure, so callers can fall back to another scheduler.
+    """
+
+    def __init__(self, num_machines: int = 1) -> None:
+        if num_machines < 1:
+            raise ValueError("num_machines must be >= 1")
+        self.num_machines = num_machines
+        self.jobs: dict[JobId, Job] = {}
+        self.ledger = CostLedger()
+
+    # ------------------------------------------------------------------
+    # subclass API
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def placements(self) -> Mapping[JobId, Placement]:
+        """Live placement map (job id -> machine, slot)."""
+
+    @abc.abstractmethod
+    def _apply_insert(self, job: Job) -> None:
+        """Place ``job`` into the schedule, moving others if necessary."""
+
+    @abc.abstractmethod
+    def _apply_delete(self, job: Job) -> None:
+        """Remove ``job`` from the schedule, moving others if desired."""
+
+    # ------------------------------------------------------------------
+    # public online interface
+    # ------------------------------------------------------------------
+    def insert(self, job: Job) -> RequestCost:
+        """Process an INSERTJOB request and return its measured cost."""
+        if job.id in self.jobs:
+            raise InvalidRequestError(f"job {job.id!r} already active")
+        before = dict(self.placements)
+        self.jobs[job.id] = job
+        try:
+            self._apply_insert(job)
+        except Exception:
+            self.jobs.pop(job.id, None)
+            raise
+        cost = diff_placements(
+            before, self.placements,
+            kind="insert", subject=job.id,
+            n_active=len(self.jobs), max_span=self._max_span(),
+        )
+        self.ledger.record(cost)
+        return cost
+
+    def delete(self, job_id: JobId) -> RequestCost:
+        """Process a DELETEJOB request and return its measured cost."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise InvalidRequestError(f"job {job_id!r} not active")
+        before = dict(self.placements)
+        n_active = len(self.jobs)
+        max_span = self._max_span()
+        self._apply_delete(job)
+        del self.jobs[job_id]
+        cost = diff_placements(
+            before, self.placements,
+            kind="delete", subject=job_id,
+            n_active=n_active, max_span=max_span,
+        )
+        self.ledger.record(cost)
+        return cost
+
+    def apply(self, request: Request) -> RequestCost:
+        """Dispatch a request object (insert or delete)."""
+        if isinstance(request, InsertJob):
+            return self.insert(request.job)
+        if isinstance(request, DeleteJob):
+            return self.delete(request.job_id)
+        raise InvalidRequestError(f"unknown request: {request!r}")
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _max_span(self) -> int:
+        return max((j.span for j in self.jobs.values()), default=1)
+
+    @property
+    def n_active(self) -> int:
+        return len(self.jobs)
+
+    def snapshot(self) -> dict[JobId, Placement]:
+        """A copy of the current placements."""
+        return dict(self.placements)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}(m={self.num_machines}, "
+                f"active={len(self.jobs)})")

@@ -1,0 +1,92 @@
+"""Fine-grained event tracing for schedulers.
+
+The cost ledger (``costs.py``) measures *what changed* per request by
+diffing placements; the event tracer records *why* — which mechanism of
+the reservation scheduler (RESERVE, MOVE, PLACE, displacement, rebuild,
+migration) moved each job. Events are cheap dataclasses appended to a
+:class:`EventTracer`; schedulers accept an optional tracer and emit into
+it, so tracing costs nothing when disabled.
+
+The per-mechanism breakdown feeds the E1/E2 reports ("how many moves
+came from reservation churn vs. cross-level displacement?") and is
+invaluable when debugging invariant violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .job import JobId
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A single traced action.
+
+    Attributes
+    ----------
+    action:
+        One of ``place``, ``move``, ``displace``, ``reserve-evict``,
+        ``migrate``, ``rebuild``, ``trim``, ``base-cascade``.
+    job_id:
+        The affected job (None for instance-level events like rebuild).
+    level:
+        Scheduler level at which the action happened (None if n/a).
+    detail:
+        Free-form context (slot numbers, window, machine).
+    """
+
+    action: str
+    job_id: JobId | None = None
+    level: int | None = None
+    detail: str = ""
+
+
+class EventTracer:
+    """Appendable event log with per-action counters."""
+
+    def __init__(self, *, keep_events: bool = True) -> None:
+        self._keep = keep_events
+        self.events: list[Event] = []
+        self.counters: dict[str, int] = {}
+
+    def emit(self, action: str, job_id: JobId | None = None,
+             level: int | None = None, detail: str = "") -> None:
+        self.counters[action] = self.counters.get(action, 0) + 1
+        if self._keep:
+            self.events.append(Event(action, job_id, level, detail))
+
+    def count(self, action: str) -> int:
+        return self.counters.get(action, 0)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.counters.clear()
+
+    def breakdown(self) -> dict[str, int]:
+        """Counter snapshot sorted by action name."""
+        return dict(sorted(self.counters.items()))
+
+
+@dataclass
+class NullTracer:
+    """Tracer that drops everything; the default for production runs."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def emit(self, action: str, job_id: JobId | None = None,
+             level: int | None = None, detail: str = "") -> None:
+        pass
+
+    def count(self, action: str) -> int:
+        return 0
+
+    def breakdown(self) -> dict[str, int]:
+        return {}

@@ -1,0 +1,116 @@
+"""Schedule snapshots and feasibility verification.
+
+A *schedule* maps every active job to a :class:`~repro.core.job.Placement`
+(machine, start slot). :func:`verify_schedule` checks the paper's
+feasibility definition (Section 2): every job is placed within its
+window on some machine, and no two jobs on the same machine overlap in
+time. The simulation driver calls this after every request, so every
+benchmark run doubles as a correctness audit.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .exceptions import ValidationError
+from .job import Job, JobId, Placement
+
+
+def verify_schedule(
+    jobs: Mapping[JobId, Job],
+    placements: Mapping[JobId, Placement],
+    num_machines: int,
+    *,
+    where: str = "schedule",
+) -> None:
+    """Raise :class:`ValidationError` unless the schedule is feasible.
+
+    Checks, in order: every active job is placed; no phantom placements;
+    machine indices valid; every job inside its window; no two jobs
+    overlap on the same machine (size-aware).
+    """
+    missing = set(jobs) - set(placements)
+    if missing:
+        raise ValidationError(f"{where}: jobs without placement: {sorted(map(str, missing))[:5]}")
+    phantom = set(placements) - set(jobs)
+    if phantom:
+        raise ValidationError(f"{where}: placements for unknown jobs: {sorted(map(str, phantom))[:5]}")
+
+    occupied: dict[tuple[int, int], JobId] = {}
+    for job_id, pl in placements.items():
+        job = jobs[job_id]
+        if not 0 <= pl.machine < num_machines:
+            raise ValidationError(
+                f"{where}: job {job_id!r} on machine {pl.machine} of {num_machines}"
+            )
+        if not job.admissible_start(pl.slot):
+            raise ValidationError(
+                f"{where}: job {job_id!r} at slot {pl.slot} outside window "
+                f"[{job.release}, {job.deadline}) (size {job.size})"
+            )
+        for t in range(pl.slot, pl.slot + job.size):
+            key = (pl.machine, t)
+            if key in occupied:
+                raise ValidationError(
+                    f"{where}: machine {pl.machine} slot {t} double-booked by "
+                    f"{occupied[key]!r} and {job_id!r}"
+                )
+            occupied[key] = job_id
+
+
+def is_feasible_schedule(
+    jobs: Mapping[JobId, Job],
+    placements: Mapping[JobId, Placement],
+    num_machines: int,
+) -> bool:
+    """Boolean form of :func:`verify_schedule`."""
+    try:
+        verify_schedule(jobs, placements, num_machines)
+    except ValidationError:
+        return False
+    return True
+
+
+def machine_loads(
+    jobs: Mapping[JobId, Job],
+    placements: Mapping[JobId, Placement],
+    num_machines: int,
+) -> list[int]:
+    """Total occupied slots per machine (size-aware)."""
+    loads = [0] * num_machines
+    for job_id, pl in placements.items():
+        loads[pl.machine] += jobs[job_id].size
+    return loads
+
+
+def format_schedule(
+    jobs: Mapping[JobId, Job],
+    placements: Mapping[JobId, Placement],
+    num_machines: int,
+    *,
+    lo: int | None = None,
+    hi: int | None = None,
+) -> str:
+    """ASCII rendering of a schedule — handy in examples and debugging.
+
+    Each machine is one row; each slot shows the job id (first 3 chars)
+    or ``.`` when idle.
+    """
+    if not placements:
+        return "(empty schedule)"
+    slots = [pl.slot for pl in placements.values()]
+    ends = [pl.slot + jobs[j].size for j, pl in placements.items()]
+    lo = min(slots) if lo is None else lo
+    hi = max(ends) if hi is None else hi
+    grid = [["." for _ in range(lo, hi)] for _ in range(num_machines)]
+    for job_id, pl in placements.items():
+        label = str(job_id)[:3].rjust(3, " ").strip() or "?"
+        for t in range(pl.slot, pl.slot + jobs[job_id].size):
+            if lo <= t < hi:
+                grid[pl.machine][t - lo] = label
+    header = f"slots [{lo}, {hi})"
+    rows = []
+    for mi, row in enumerate(grid):
+        cells = " ".join(c.rjust(3) for c in row)
+        rows.append(f"m{mi}: {cells}")
+    return header + "\n" + "\n".join(rows)

@@ -1,0 +1,27 @@
+"""Offline feasibility and underallocation substrate (matching, Hall/density)."""
+
+from .checker import (
+    check_feasible,
+    check_gamma_underallocated,
+    density_gamma,
+    max_density,
+    offline_schedule,
+)
+from .hall import LaminarLoadTree, coarse_grid_jobs, interval_density_bound, underallocation_factor
+from .matching import HopcroftKarp, feasible_assignment, greedy_edf_feasible, max_matching_size
+
+__all__ = [
+    "check_feasible",
+    "check_gamma_underallocated",
+    "density_gamma",
+    "max_density",
+    "offline_schedule",
+    "LaminarLoadTree",
+    "coarse_grid_jobs",
+    "interval_density_bound",
+    "underallocation_factor",
+    "HopcroftKarp",
+    "feasible_assignment",
+    "greedy_edf_feasible",
+    "max_matching_size",
+]

@@ -1,0 +1,162 @@
+"""Bipartite matching for offline feasibility of unit jobs.
+
+The offline substrate the paper assumes: deciding whether a set of unit
+jobs with windows fits on ``m`` machines is a bipartite matching problem
+between jobs and (machine, slot) pairs. We implement Hopcroft–Karp from
+scratch (O(E * sqrt(V))) — the library cross-checks it against networkx
+in the test suite but never depends on networkx at runtime.
+
+For unit jobs on identical machines the machine identity is symmetric,
+so feasibility reduces to matching jobs to *slots with multiplicity m*;
+we exploit that to shrink the graph: right vertices are (slot, copy)
+pairs with copy < m, and we only materialize slots inside some window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from ..core.job import Job, JobId
+
+_INF = float("inf")
+
+
+class HopcroftKarp:
+    """Maximum bipartite matching via Hopcroft–Karp.
+
+    Left vertices are arbitrary hashables; adjacency is supplied as a
+    mapping from left vertex to an iterable of right vertices (also
+    hashables). ``match()`` returns the matching as a dict left->right.
+    """
+
+    def __init__(self, adjacency: Mapping[Hashable, Sequence[Hashable]]) -> None:
+        self.adj = {u: list(vs) for u, vs in adjacency.items()}
+        self.match_left: dict[Hashable, Hashable] = {}
+        self.match_right: dict[Hashable, Hashable] = {}
+
+    def _bfs(self) -> bool:
+        """Layered BFS from free left vertices; True if an augmenting path exists."""
+        self._dist: dict[Hashable, float] = {}
+        queue: deque[Hashable] = deque()
+        for u in self.adj:
+            if u not in self.match_left:
+                self._dist[u] = 0
+                queue.append(u)
+            else:
+                self._dist[u] = _INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in self.adj[u]:
+                w = self.match_right.get(v)
+                if w is None:
+                    found = True
+                elif self._dist[w] == _INF:
+                    self._dist[w] = self._dist[u] + 1
+                    queue.append(w)
+        return found
+
+    def _dfs(self, u: Hashable) -> bool:
+        for v in self.adj[u]:
+            w = self.match_right.get(v)
+            if w is None or (self._dist[w] == self._dist[u] + 1 and self._dfs(w)):
+                self.match_left[u] = v
+                self.match_right[v] = u
+                return True
+        self._dist[u] = _INF
+        return False
+
+    def match(self) -> dict[Hashable, Hashable]:
+        """Compute and return a maximum matching (left -> right)."""
+        while self._bfs():
+            for u in self.adj:
+                if u not in self.match_left:
+                    self._dfs(u)
+        return dict(self.match_left)
+
+    @property
+    def size(self) -> int:
+        return len(self.match_left)
+
+
+def job_slot_adjacency(
+    jobs: Mapping[JobId, Job],
+    num_machines: int,
+) -> dict[JobId, list[tuple[int, int]]]:
+    """Adjacency from jobs to (slot, machine-copy) right vertices.
+
+    Only unit jobs are supported here; sized jobs go through
+    ``repro.baselines.sized_jobs``.
+    """
+    adj: dict[JobId, list[tuple[int, int]]] = {}
+    for job_id, job in jobs.items():
+        if job.size != 1:
+            raise ValueError("job_slot_adjacency supports unit jobs only")
+        # Shorter windows first benefit from deterministic slot order.
+        adj[job_id] = [(t, c) for t in job.window.slots() for c in range(num_machines)]
+    return adj
+
+
+def max_matching_size(jobs: Mapping[JobId, Job], num_machines: int) -> int:
+    """Size of a maximum job -> (slot, machine) matching."""
+    if not jobs:
+        return 0
+    hk = HopcroftKarp(job_slot_adjacency(jobs, num_machines))
+    hk.match()
+    return hk.size
+
+
+def feasible_assignment(
+    jobs: Mapping[JobId, Job],
+    num_machines: int,
+) -> dict[JobId, tuple[int, int]] | None:
+    """A feasible (machine, slot) per job, or None if infeasible.
+
+    Machines are assigned from the slot copies, so the result is a valid
+    multiprocessor schedule: copy index = machine index.
+    """
+    if not jobs:
+        return {}
+    hk = HopcroftKarp(job_slot_adjacency(jobs, num_machines))
+    matching = hk.match()
+    if len(matching) < len(jobs):
+        return None
+    return {job_id: (copy, slot) for job_id, (slot, copy) in matching.items()}
+
+
+def greedy_edf_feasible(jobs: Iterable[Job], num_machines: int) -> bool:
+    """Fast exact feasibility via Jackson's rule (EDF) for unit jobs.
+
+    Sweep time slots in increasing order; at each slot fill the ``m``
+    machines with the released, unscheduled jobs of earliest deadline.
+    For unit jobs on identical machines this greedy is exact, and it is
+    much faster than matching — the checker uses it as the primary
+    method and the matching as an audit.
+    """
+    remaining = sorted(jobs, key=lambda j: (j.release, j.deadline))
+    for job in remaining:
+        if job.size != 1:
+            raise ValueError("greedy_edf_feasible supports unit jobs only")
+    if not remaining:
+        return True
+    import heapq
+
+    by_deadline: list[tuple[int, int]] = []  # (deadline, tiebreak)
+    idx = 0
+    t = remaining[0].release
+    n = len(remaining)
+    while idx < n or by_deadline:
+        if not by_deadline and idx < n and remaining[idx].release > t:
+            t = remaining[idx].release
+        while idx < n and remaining[idx].release <= t:
+            heapq.heappush(by_deadline, (remaining[idx].deadline, idx))
+            idx += 1
+        for _ in range(num_machines):
+            if not by_deadline:
+                break
+            deadline, _k = heapq.heappop(by_deadline)
+            if deadline <= t:  # job's window closed before it ran
+                return False
+        t += 1
+    return True

@@ -1,0 +1,5 @@
+"""Level/interval decomposition policies (Section 4, "Interval Decomposition")."""
+
+from .policy import LevelPolicy, PAPER_POLICY, make_policy
+
+__all__ = ["LevelPolicy", "PAPER_POLICY", "make_policy"]

@@ -1,0 +1,178 @@
+"""Level decomposition policy (Section 4, "Interval Decomposition").
+
+The paper splits window spans into levels via a tower of thresholds::
+
+    L_1 = 2**5 = 32,   L_{l+1} = 2**(L_l / 4)
+
+- **Level 0** (base level) handles aligned spans ``1 .. L_1``; it uses
+  the constant-cost naive pecking-order scheduler (the thresholds are
+  constants, so cascades cost O(1)).
+- **Level l >= 1** handles aligned spans ``L_l < span <= L_{l+1}`` with
+  the reservation machinery. Each level-l window of span ``2**k * L_l``
+  (``k >= 1``) decomposes into ``2**k`` *level-l intervals* of exactly
+  ``L_l`` slots each, aligned on multiples of ``L_l``.
+
+Equation 1 of the paper — the budget that makes the whole construction
+work — states that the number of distinct level-l window spans is at
+most ``lg(L_{l+1}) = L_l / 4``: every interval can afford one standing
+("baseline") reservation for *every* enclosing level-l window span while
+consuming at most a quarter of its slots.
+
+The policy is pluggable (``make_policy``) so experiments can explore
+other tower shapes; the invariant required by the analysis is
+``L_l >= 4 * lg(L_{l+1})`` and every threshold a power of two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..core.window import Window, is_power_of_two
+
+
+@dataclass(frozen=True)
+class LevelPolicy:
+    """Immutable level-threshold policy.
+
+    Attributes
+    ----------
+    thresholds:
+        ``(L_1, L_2, ..., L_top)`` — strictly increasing powers of two.
+        Spans ``<= L_1`` are level 0; spans in ``(L_l, L_{l+1}]`` are
+        level ``l``. The final threshold must exceed any span used; the
+        policy raises if asked about a larger span.
+    """
+
+    thresholds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.thresholds:
+            raise ValueError("need at least one threshold")
+        prev = 0
+        for t in self.thresholds:
+            if not is_power_of_two(t):
+                raise ValueError(f"threshold {t} is not a power of two")
+            if t <= prev:
+                raise ValueError("thresholds must be strictly increasing")
+            prev = t
+        # The analysis (Equation 1 / Lemma 8) needs L_l >= 4*lg(L_{l+1}).
+        for lo, hi in zip(self.thresholds, self.thresholds[1:]):
+            if lo < 4 * (hi.bit_length() - 1):
+                raise ValueError(
+                    f"policy violates Equation 1 budget: L={lo} < 4*lg({hi})"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def base_threshold(self) -> int:
+        """L_1 — the largest span handled by the base level (level 0)."""
+        return self.thresholds[0]
+
+    @property
+    def max_span(self) -> int:
+        """Largest span this policy can level-ize."""
+        return self.thresholds[-1]
+
+    @property
+    def num_reservation_levels(self) -> int:
+        return len(self.thresholds) - 1
+
+    def level_of_span(self, span: int) -> int:
+        """Level index for an aligned span (0 = base level)."""
+        if span < 1:
+            raise ValueError("span must be >= 1")
+        if span <= self.thresholds[0]:
+            return 0
+        for level in range(1, len(self.thresholds)):
+            if span <= self.thresholds[level]:
+                return level
+        raise ValueError(
+            f"span {span} exceeds policy max span {self.max_span}; "
+            "extend the policy thresholds"
+        )
+
+    def interval_span(self, level: int) -> int:
+        """Slot count L_l of a level-l interval (level >= 1)."""
+        if not 1 <= level <= self.num_reservation_levels:
+            raise ValueError(f"level {level} out of range 1..{self.num_reservation_levels}")
+        return self.thresholds[level - 1]
+
+    def level_span_range(self, level: int) -> tuple[int, int]:
+        """(min_span, max_span) handled at ``level`` (inclusive bounds).
+
+        Level 0 returns ``(1, L_1)``; level l returns ``(2*L_l, L_{l+1})``
+        — remember level-l spans are powers of two strictly above L_l.
+        """
+        if level == 0:
+            return (1, self.thresholds[0])
+        lo = self.interval_span(level)
+        hi = self.thresholds[level]
+        return (2 * lo, hi)
+
+    def interval_index(self, level: int, slot: int) -> int:
+        """Index of the level-l interval containing ``slot``."""
+        span = self.interval_span(level)
+        return slot // span
+
+    def interval_window(self, level: int, index: int) -> Window:
+        """The level-l interval with the given index, as a Window."""
+        span = self.interval_span(level)
+        return Window(index * span, (index + 1) * span)
+
+    def intervals_of_window(self, level: int, window: Window) -> range:
+        """Indices of the level-l intervals partitioning an aligned level-l window."""
+        span = self.interval_span(level)
+        if window.release % span or window.deadline % span:
+            raise ValueError(f"{window} is not interval-aligned at level {level}")
+        return range(window.release // span, window.deadline // span)
+
+    def enclosing_spans(self, level: int) -> list[int]:
+        """All legal level-l window spans, smallest first.
+
+        Spans are ``2**k * L_l`` for ``k = 1 .. lg(L_{l+1}/L_l)``.
+        Equation 1 guarantees there are at most ``L_l / 4`` of them.
+        """
+        lo, hi = self.interval_span(level), self.thresholds[level]
+        spans = []
+        s = 2 * lo
+        while s <= hi:
+            spans.append(s)
+            s *= 2
+        return spans
+
+    def levels_above(self, level: int) -> range:
+        """Reservation levels strictly above ``level``."""
+        return range(max(level + 1, 1), self.num_reservation_levels + 1)
+
+    def required_levels(self, max_span: int) -> int:
+        """Number of reservation levels touched by spans up to max_span."""
+        if max_span <= self.thresholds[0]:
+            return 0
+        return self.level_of_span(max_span)
+
+
+@lru_cache(maxsize=None)
+def make_policy(max_span: int = 1 << 20, *, l1: int = 32, shift: int = 4) -> LevelPolicy:
+    """Build a :class:`LevelPolicy` covering spans up to ``max_span``.
+
+    Defaults reproduce the paper's tower (``L_1=32``, ``L_{l+1} =
+    2**(L_l/4)``). Other ``(l1, shift)`` pairs let experiments exercise
+    deeper towers at small scale, subject to the Equation-1 validity
+    check; e.g. ``l1=32, shift=8`` gives levels 32, 16, ... (invalid) —
+    the constructor rejects invalid shapes.
+    """
+    thresholds = [l1]
+    while thresholds[-1] < max_span:
+        nxt = 1 << (thresholds[-1] // shift)
+        if nxt <= thresholds[-1]:
+            raise ValueError(
+                f"tower (l1={l1}, shift={shift}) does not grow past {thresholds[-1]}"
+            )
+        thresholds.append(nxt)
+    return LevelPolicy(tuple(thresholds))
+
+
+#: The paper's policy, covering spans up to 2**64 (3 reservation levels
+#: suffice for any practical simulation).
+PAPER_POLICY = make_policy(1 << 40)

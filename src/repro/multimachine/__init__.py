@@ -1,0 +1,13 @@
+"""Multi-machine reduction (Section 3) and the elastic-machines extension
+(a Section 7 open question)."""
+
+from .delegation import DelegatingScheduler, WindowBalancer
+from .elastic import ElasticScheduler, ElasticWindowBalancer, balanced_targets
+
+__all__ = [
+    "DelegatingScheduler",
+    "WindowBalancer",
+    "ElasticScheduler",
+    "ElasticWindowBalancer",
+    "balanced_targets",
+]

@@ -1,0 +1,176 @@
+"""Round-robin per-window delegation (Section 3).
+
+The paper reduces m-machine scheduling to single-machine scheduling by
+balancing, *per window*, the jobs across machines: if ``n_W`` jobs share
+window ``W``, every machine holds between ``floor(n_W/m)`` and
+``ceil(n_W/m)`` of them, with the extras on the earliest machines. The
+invariant is maintained with at most one migration per request:
+
+- insert: the new job goes to machine ``n_W mod m`` (0-indexed; the
+  paper's ``(n_W + 1) mod m`` is the 1-indexed equivalent);
+- delete from machine ``i``: the balance donor is machine
+  ``(n_W - 1) mod m`` (the last machine holding an extra job); if
+  ``i`` differs, one of the donor's ``W``-jobs migrates to machine ``i``.
+
+Lemma 3 guarantees each machine's sub-instance stays 1-machine
+underallocated (losing a factor 6) when the full instance is; the
+delegator is scheduler-agnostic and works over any per-machine
+:class:`~repro.core.base.ReallocatingScheduler` factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..core.base import ReallocatingScheduler
+from ..core.job import Job, JobId, Placement
+from ..core.window import Window
+
+
+class WindowBalancer:
+    """Tracks per-window job counts and machine membership.
+
+    Pure bookkeeping — it decides *where* jobs go; the schedulers decide
+    *when* they run. Kept separate from the scheduler wrapper so the
+    balance invariant can be unit-tested in isolation.
+    """
+
+    def __init__(self, num_machines: int) -> None:
+        if num_machines < 1:
+            raise ValueError("num_machines must be >= 1")
+        self.m = num_machines
+        #: window -> list of per-machine job-id sets
+        self._members: dict[Window, list[set[JobId]]] = {}
+        #: job id -> (window, machine)
+        self._where: dict[JobId, tuple[Window, int]] = {}
+
+    def count(self, window: Window) -> int:
+        members = self._members.get(window)
+        return sum(len(s) for s in members) if members else 0
+
+    def machine_of(self, job_id: JobId) -> int:
+        return self._where[job_id][1]
+
+    def choose_insert_machine(self, window: Window) -> int:
+        """Machine for a new job with this window: round-robin position."""
+        return self.count(window) % self.m
+
+    def record_insert(self, job_id: JobId, window: Window, machine: int) -> None:
+        members = self._members.setdefault(
+            window, [set() for _ in range(self.m)]
+        )
+        members[machine].add(job_id)
+        self._where[job_id] = (window, machine)
+
+    def plan_delete(self, job_id: JobId) -> tuple[int, JobId | None]:
+        """Plan a deletion: returns (machine of job, migrating job or None).
+
+        The migrating job restores the balance invariant: it is one of
+        the donor machine's jobs with the same window, moved onto the
+        machine that lost a job. None when the deleted job's machine is
+        itself the donor.
+        """
+        window, machine = self._where[job_id]
+        members = self._members[window]
+        donor = (self.count(window) - 1) % self.m
+        if donor == machine:
+            return machine, None
+        candidates = members[donor] - {job_id}
+        if not candidates:  # pragma: no cover - invariant guarantees a donor job
+            raise AssertionError(
+                f"balance invariant broken: donor machine {donor} holds no "
+                f"job with window {window}"
+            )
+        # Deterministic choice: smallest by string representation.
+        mover = min(candidates, key=str)
+        return machine, mover
+
+    def record_delete(self, job_id: JobId) -> None:
+        window, machine = self._where.pop(job_id)
+        members = self._members[window]
+        members[machine].discard(job_id)
+        if not any(members):
+            del self._members[window]
+
+    def record_migration(self, job_id: JobId, to_machine: int) -> None:
+        window, old = self._where[job_id]
+        self._members[window][old].discard(job_id)
+        self._members[window][to_machine].add(job_id)
+        self._where[job_id] = (window, to_machine)
+
+    def check_balance(self) -> None:
+        """Assert the floor/ceil balance invariant for every window."""
+        for window, members in self._members.items():
+            counts = [len(s) for s in members]
+            total = sum(counts)
+            lo, hi = total // self.m, -(-total // self.m)
+            for i, c in enumerate(counts):
+                if not lo <= c <= hi:
+                    raise AssertionError(
+                        f"window {window}: machine {i} holds {c} jobs, "
+                        f"expected in [{lo}, {hi}]"
+                    )
+            # extras must sit on the earliest machines (paper's invariant)
+            extras = [i for i, c in enumerate(counts) if c == hi]
+            if hi > lo and extras and max(extras) >= total % self.m:
+                raise AssertionError(
+                    f"window {window}: extra jobs not on earliest machines "
+                    f"(counts {counts})"
+                )
+
+
+class DelegatingScheduler(ReallocatingScheduler):
+    """m-machine scheduler: per-window round-robin over single-machine schedulers.
+
+    Parameters
+    ----------
+    num_machines:
+        Machine count m.
+    scheduler_factory:
+        Builds the per-machine single-machine scheduler (any
+        :class:`ReallocatingScheduler` with ``num_machines == 1``).
+
+    Guarantees (Section 3): at most one migration per request, and the
+    per-machine instances satisfy the ceil(n_W/m) bound of Lemma 3.
+    """
+
+    def __init__(
+        self,
+        num_machines: int,
+        scheduler_factory: Callable[[], ReallocatingScheduler],
+    ) -> None:
+        super().__init__(num_machines=num_machines)
+        self.machines = [scheduler_factory() for _ in range(num_machines)]
+        for i, sub in enumerate(self.machines):
+            if sub.num_machines != 1:
+                raise ValueError(f"sub-scheduler {i} is not single-machine")
+        self.balancer = WindowBalancer(num_machines)
+
+    @property
+    def placements(self) -> Mapping[JobId, Placement]:
+        out: dict[JobId, Placement] = {}
+        for mi, sub in enumerate(self.machines):
+            for job_id, pl in sub.placements.items():
+                out[job_id] = Placement(mi, pl.slot)
+        return out
+
+    def _apply_insert(self, job: Job) -> None:
+        machine = self.balancer.choose_insert_machine(job.window)
+        self.machines[machine].insert(job)
+        self.balancer.record_insert(job.id, job.window, machine)
+
+    def _apply_delete(self, job: Job) -> None:
+        machine, mover = self.balancer.plan_delete(job.id)
+        self.machines[machine].delete(job.id)
+        self.balancer.record_delete(job.id)
+        if mover is not None:
+            # The single migration: mover leaves the donor machine and
+            # re-enters on the machine that lost a job.
+            donor = self.balancer.machine_of(mover)
+            mover_job = self.machines[donor].jobs[mover]
+            self.machines[donor].delete(mover)
+            self.machines[machine].insert(mover_job)
+            self.balancer.record_migration(mover, machine)
+
+    def check_balance(self) -> None:
+        self.balancer.check_balance()

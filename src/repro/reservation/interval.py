@@ -1,0 +1,254 @@
+"""Level-l interval state: allowance, reservations, fulfillment, assignment.
+
+An :class:`Interval` is one aligned block of ``L_l`` slots at reservation
+level ``l``. It tracks:
+
+- ``lower_occupied`` — slots currently holding jobs of level < l. The
+  complement within the interval is the paper's *allowance*.
+- ``dynamic_res`` — dynamic reservation counts per enclosing window
+  (2 per job, round-robin); the *baseline* reservation (1 per enclosing
+  window, always present) is added implicitly by :meth:`demands`.
+- ``assigned`` / ``slot_owner`` — which allowance slots currently back
+  fulfilled reservations of which window.
+
+Which reservations are fulfilled is a pure function of the demand
+multiset and the allowance size (:meth:`target_fulfilled`): sort
+enclosing windows shortest-span first (ties by start) and grant greedily
+— Observation 7's history independence. :meth:`rebalance` reconciles the
+assignment with the target after any change, returning the level-l jobs
+whose backing slot was revoked (the scheduler then MOVEs them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..core.job import JobId
+from ..core.window import Window, aligned_window_covering
+
+
+@dataclass
+class Interval:
+    """One level-l interval (an aligned ``L_l``-slot block)."""
+
+    level: int
+    index: int
+    lo: int
+    hi: int
+    #: legal level-l window spans (from the policy), smallest first
+    enclosing_spans: tuple[int, ...]
+    lower_occupied: set[int] = field(default_factory=set)
+    dynamic_res: dict[Window, int] = field(default_factory=dict)
+    assigned: dict[Window, set[int]] = field(default_factory=dict)
+    slot_owner: dict[int, Window] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # geometry / demand
+    # ------------------------------------------------------------------
+    @property
+    def span(self) -> int:
+        return self.hi - self.lo
+
+    def slots(self) -> range:
+        return range(self.lo, self.hi)
+
+    def enclosing_windows(self) -> list[Window]:
+        """All legal level-l windows containing this interval, shortest first."""
+        return [aligned_window_covering(self.lo, s) for s in self.enclosing_spans]
+
+    def allowance_size(self) -> int:
+        return self.span - len(self.lower_occupied)
+
+    def in_allowance(self, slot: int) -> bool:
+        return self.lo <= slot < self.hi and slot not in self.lower_occupied
+
+    def demands(self) -> list[tuple[Window, int]]:
+        """(window, demand) for every enclosing window, priority order.
+
+        Demand = 1 baseline + dynamic reservations. Every enclosing
+        window always demands at least its baseline (Observation 7:
+        fulfillment must not depend on which windows happen to have
+        jobs). Priority: shortest span first, ties by window start.
+        """
+        out = []
+        for w in self.enclosing_windows():
+            out.append((w, 1 + self.dynamic_res.get(w, 0)))
+        # enclosing_windows is already shortest-first; starts are unique
+        # per span (one window per span covers this interval), so the
+        # span order is a total priority order.
+        return out
+
+    def target_fulfilled(self) -> dict[Window, int]:
+        """Fulfilled-reservation counts per window (pure function).
+
+        Greedy by priority: each window receives
+        ``min(demand, remaining allowance)``.
+        """
+        remaining = self.allowance_size()
+        target: dict[Window, int] = {}
+        for w, demand in self.demands():
+            take = min(demand, remaining)
+            target[w] = take
+            remaining -= take
+        return target
+
+    def waitlisted(self) -> dict[Window, int]:
+        """Demand minus fulfilled, per enclosing window (zero entries kept)."""
+        target = self.target_fulfilled()
+        return {w: d - target[w] for w, d in self.demands()}
+
+    # ------------------------------------------------------------------
+    # reservation mutation (dynamic part only)
+    # ------------------------------------------------------------------
+    def add_dynamic(self, window: Window, delta: int) -> None:
+        """Adjust dynamic reservation count for a window by +/- delta."""
+        new = self.dynamic_res.get(window, 0) + delta
+        if new < 0:
+            raise ValueError(
+                f"dynamic reservations for {window} would go negative at "
+                f"interval {self.index} (level {self.level})"
+            )
+        if new:
+            self.dynamic_res[window] = new
+        else:
+            self.dynamic_res.pop(window, None)
+
+    # ------------------------------------------------------------------
+    # allowance mutation
+    # ------------------------------------------------------------------
+    def slot_lowered(self, slot: int) -> None:
+        """A job of level < l now occupies ``slot`` (it leaves the allowance).
+
+        Any assignment backing the slot is revoked; the caller must
+        rebalance afterwards.
+        """
+        if not self.lo <= slot < self.hi:
+            raise ValueError(f"slot {slot} outside interval [{self.lo},{self.hi})")
+        self.lower_occupied.add(slot)
+        owner = self.slot_owner.pop(slot, None)
+        if owner is not None:
+            self.assigned[owner].discard(slot)
+            if not self.assigned[owner]:
+                del self.assigned[owner]
+
+    def slot_raised(self, slot: int) -> None:
+        """The lower-level occupant of ``slot`` left (slot rejoins allowance)."""
+        self.lower_occupied.discard(slot)
+
+    # ------------------------------------------------------------------
+    # assignment reconciliation
+    # ------------------------------------------------------------------
+    def rebalance(
+        self,
+        level_job_at: Callable[[int], JobId | None],
+        empty_at: Callable[[int], bool],
+    ) -> list[JobId]:
+        """Reconcile slot assignments with :meth:`target_fulfilled`.
+
+        Parameters
+        ----------
+        level_job_at:
+            slot -> id of the level-l job occupying it (None otherwise).
+            Used to avoid revoking occupied backing slots when an empty
+            one can be released instead, and to report forced moves.
+        empty_at:
+            slot -> True iff *no* job of any level occupies it. Used to
+            prefer truly empty slots when assigning, minimizing future
+            cross-level displacement.
+
+        Returns the level-l jobs whose backing slot was revoked; the
+        scheduler must MOVE each of them.
+        """
+        target = self.target_fulfilled()
+        revoked: list[JobId] = []
+
+        # Phase 1: releases (excess assignments), empty slots first.
+        for w in list(self.assigned):
+            have = self.assigned[w]
+            want = target.get(w, 0)
+            excess = len(have) - want
+            if excess <= 0:
+                continue
+            empties = sorted(s for s in have if level_job_at(s) is None)
+            occupied = sorted(s for s in have if level_job_at(s) is not None)
+            for s in (empties + occupied)[:excess]:
+                have.discard(s)
+                del self.slot_owner[s]
+                job = level_job_at(s)
+                if job is not None:
+                    revoked.append(job)
+            if not have:
+                del self.assigned[w]
+
+        # Phase 2: top-ups. Free = allowance slots backing nothing.
+        free = [s for s in self.slots()
+                if s not in self.lower_occupied and s not in self.slot_owner]
+        # Truly empty slots first, then slots under higher-level jobs.
+        free.sort(key=lambda s: (not empty_at(s), s))
+        fi = 0
+        for w, want in target.items():
+            have = self.assigned.get(w)
+            need = want - (len(have) if have else 0)
+            if need <= 0:
+                continue
+            if fi + need > len(free):  # pragma: no cover - defensive
+                raise AssertionError(
+                    f"interval {self.index} (level {self.level}): target "
+                    "fulfillment exceeds allowance"
+                )
+            chosen = free[fi:fi + need]
+            fi += need
+            if have is None:
+                have = self.assigned[w] = set()
+            for s in chosen:
+                have.add(s)
+                self.slot_owner[s] = w
+        return revoked
+
+    # ------------------------------------------------------------------
+    # swap support (the MOVE trick of Figure 1, lines 12-13)
+    # ------------------------------------------------------------------
+    def swap_slots(self, s1: int, s2: int) -> None:
+        """Exchange the roles of two slots in this interval's bookkeeping.
+
+        Swaps allowance membership and assignment ownership. Used by
+        MOVE at ancestor levels so that relocating a lower-level job
+        between two slots of the same ancestor interval is invisible to
+        this level (net allowance change zero).
+        """
+        if s1 == s2:
+            return
+        in1 = s1 in self.lower_occupied
+        in2 = s2 in self.lower_occupied
+        if in1 != in2:
+            if in1:
+                self.lower_occupied.discard(s1)
+                self.lower_occupied.add(s2)
+            else:
+                self.lower_occupied.discard(s2)
+                self.lower_occupied.add(s1)
+        o1 = self.slot_owner.pop(s1, None)
+        o2 = self.slot_owner.pop(s2, None)
+        if o1 is not None:
+            self.assigned[o1].discard(s1)
+        if o2 is not None:
+            self.assigned[o2].discard(s2)
+        if o1 is not None:
+            self.slot_owner[s2] = o1
+            self.assigned[o1].add(s2)
+        if o2 is not None:
+            self.slot_owner[s1] = o2
+            self.assigned[o2].add(s1)
+        for owner in (o1, o2):
+            if owner is not None and not self.assigned.get(owner, {1}):
+                self.assigned.pop(owner, None)
+
+    # ------------------------------------------------------------------
+    def total_demand(self) -> int:
+        return sum(d for _, d in self.demands())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Interval(level={self.level}, idx={self.index}, "
+                f"[{self.lo},{self.hi}), lower={len(self.lower_occupied)}, "
+                f"assigned={sum(len(v) for v in self.assigned.values())})")

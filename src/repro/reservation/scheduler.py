@@ -1,0 +1,417 @@
+"""Single-machine pecking-order scheduling with reservations (Section 4).
+
+This is the paper's core contribution (Figure 1), implemented faithfully:
+
+- Jobs are split by window span into a base level (spans <= L_1 = 32,
+  handled by constant-cost naive pecking-order displacement) and
+  reservation levels l >= 1 (spans in (L_l, L_{l+1}]).
+- Each reservation level partitions time into L_l-slot *intervals*
+  (:class:`~repro.reservation.interval.Interval`). Every enclosing
+  window holds one standing baseline reservation per interval; a window
+  with x jobs holds 2x additional reservations spread round-robin
+  (Invariant 5, implemented as a pure function of x in
+  ``window_state.rr_counts``).
+- Intervals fulfill reservations shortest-window-first within their
+  *allowance* (slots not occupied by lower-level jobs); the rest are
+  waitlisted (Observation 7: the fulfilled multiset is a pure function
+  of the demand and allowance — history independent by construction).
+- PLACE puts a job on one of its window's fulfilled slots, displacing at
+  most one higher-level job, whose reinsertion cascades strictly upward
+  (Figure 1, lines 15-23). MOVE relocates a job whose backing slot was
+  revoked, swapping the two slots' roles inside every ancestor interval
+  so the net allowance change is zero and at most one higher-level job
+  relocates (lines 10-14).
+
+Pecking order means lower levels never consult higher-level state; they
+see higher-level jobs only as displaceable squatters. Consequently each
+request touches O(1) jobs per level and there are O(log* Delta) levels —
+Lemma 9's bound.
+
+Deviations from the paper's prose (documented per DESIGN.md):
+
+- Where the paper says "any slot"/"any job", we use deterministic
+  preferences: truly empty slots before slots under higher-level jobs,
+  then lowest slot number; smallest adequate victim span. These only
+  improve constants.
+- Intervals materialize lazily (scanning current occupancy on
+  creation), so no time horizon needs declaring up front.
+
+The scheduler requires *aligned* windows and sufficient underallocation
+(Lemma 8 needs 8-underallocation); when slack runs out it raises
+:class:`UnderallocationError` and poisons itself — wrap with the
+trimming/alignment/multi-machine layers for the full Theorem 1
+scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.base import ReallocatingScheduler
+from ..core.events import EventTracer, NullTracer
+from ..core.exceptions import (
+    InfeasibleError,
+    InvalidRequestError,
+    UnderallocationError,
+)
+from ..core.job import Job, JobId, Placement
+from ..core.window import Window
+from ..levels.policy import LevelPolicy, PAPER_POLICY
+from .interval import Interval
+from .window_state import WindowState, rr_diff
+
+
+class AlignedReservationScheduler(ReallocatingScheduler):
+    """Reallocating scheduler for aligned unit jobs on one machine.
+
+    Parameters
+    ----------
+    policy:
+        Level decomposition (defaults to the paper's tower).
+    tracer:
+        Optional :class:`EventTracer` receiving fine-grained events.
+    """
+
+    def __init__(self, policy: LevelPolicy = PAPER_POLICY, *,
+                 tracer: EventTracer | NullTracer | None = None) -> None:
+        super().__init__(num_machines=1)
+        self.policy = policy
+        self.tracer = tracer if tracer is not None else NullTracer()
+        #: slot -> job id (single machine, so slots are global)
+        self.slot_job: dict[int, JobId] = {}
+        #: job id -> slot
+        self.job_slot: dict[JobId, int] = {}
+        self._placements: dict[JobId, Placement] = {}
+        #: level -> interval index -> Interval (materialized lazily)
+        self.intervals: dict[int, dict[int, Interval]] = {
+            lv: {} for lv in range(1, policy.num_reservation_levels + 1)
+        }
+        #: level -> window -> WindowState (only windows with x >= 1)
+        self.window_states: dict[int, dict[Window, WindowState]] = {
+            lv: {} for lv in range(1, policy.num_reservation_levels + 1)
+        }
+        self._job_levels: dict[JobId, int] = {}
+        self._poisoned = False
+
+    # ------------------------------------------------------------------
+    # ReallocatingScheduler interface
+    # ------------------------------------------------------------------
+    @property
+    def placements(self) -> Mapping[JobId, Placement]:
+        return self._placements
+
+    def _apply_insert(self, job: Job) -> None:
+        self._check_usable()
+        if job.size != 1:
+            raise InvalidRequestError("reservation scheduler handles unit jobs only")
+        if not job.window.is_aligned:
+            raise InvalidRequestError(
+                f"window {job.window} is not aligned; use the alignment wrapper"
+            )
+        level = self.policy.level_of_span(job.span)
+        self._job_levels[job.id] = level
+        try:
+            if level == 0:
+                self._insert_base(job.id, job.window)
+            else:
+                self._insert_reserved(job.id, job.window, level)
+        except (UnderallocationError, InfeasibleError):
+            self._poisoned = True
+            self._job_levels.pop(job.id, None)
+            raise
+
+    def _apply_delete(self, job: Job) -> None:
+        self._check_usable()
+        level = self._job_levels.pop(job.id)
+        slot = self.job_slot.pop(job.id)
+        del self.slot_job[slot]
+        del self._placements[job.id]
+        self.tracer.emit("delete", job.id, level, f"slot {slot}")
+        # The vacated slot rejoins the allowance of every higher level.
+        try:
+            self._notify_raised(slot, level)
+            if level >= 1:
+                self._retract_reservations(job.id, job.window, level)
+        except UnderallocationError:
+            self._poisoned = True
+            raise
+
+    # ------------------------------------------------------------------
+    # level >= 1: reservations
+    # ------------------------------------------------------------------
+    def _insert_reserved(self, job_id: JobId, window: Window, level: int) -> None:
+        states = self.window_states[level]
+        ws = states.get(window)
+        if ws is None:
+            ws = WindowState(window, level,
+                             self.policy.intervals_of_window(level, window))
+            states[window] = ws
+        x_old = ws.x
+        ws.jobs.add(job_id)
+        # Invariant 5: two new dynamic reservations, round-robin targets.
+        for pos, delta in rr_diff(x_old, ws.x, ws.n_intervals).items():
+            iv = self._interval(level, ws.interval_ids.start + pos)
+            iv.add_dynamic(window, delta)
+            self.tracer.emit("reserve", job_id, level, f"interval {iv.index} {delta:+d}")
+            self._rebalance(iv)
+        self._place(job_id, window, level)
+
+    def _retract_reservations(self, job_id: JobId, window: Window, level: int) -> None:
+        states = self.window_states[level]
+        ws = states[window]
+        x_old = ws.x
+        ws.jobs.discard(job_id)
+        for pos, delta in rr_diff(x_old, ws.x, ws.n_intervals).items():
+            iv = self._interval(level, ws.interval_ids.start + pos)
+            iv.add_dynamic(window, delta)
+            self._rebalance(iv)
+        if ws.x == 0:
+            del states[window]
+
+    def _place(self, job_id: JobId, window: Window, level: int) -> None:
+        """Figure 1, PLACE: put the job on a fulfilled slot of its window."""
+        slot = self._find_fulfilled_free_slot(window, level)
+        if slot is None:
+            raise UnderallocationError(
+                f"no fulfilled reservation of {window} has a level-{level}-job-free "
+                "slot; the instance violates the Lemma 8 underallocation assumption",
+                level=level, window=window,
+            )
+        self.tracer.emit("place", job_id, level, f"slot {slot}")
+        self._occupy(job_id, level, slot)
+
+    def _find_fulfilled_free_slot(
+        self, window: Window, level: int, *, exclude: int | None = None,
+    ) -> int | None:
+        """A slot assigned to ``window`` holding no level-``level`` job.
+
+        Prefers truly empty slots (scanning the window's intervals left
+        to right and returning the first empty hit); falls back to the
+        first slot under a higher-level job.
+        """
+        fallback: int | None = None
+        for idx in self.policy.intervals_of_window(level, window):
+            iv = self._interval(level, idx)
+            for s in sorted(iv.assigned.get(window, ())):
+                if s == exclude:
+                    continue
+                occ = self.slot_job.get(s)
+                if occ is None:
+                    return s
+                if self._job_levels[occ] == level:
+                    continue
+                if fallback is None:
+                    fallback = s
+        return fallback
+
+    def _move(self, job_id: JobId, level: int) -> None:
+        """Figure 1, MOVE: relocate a job whose backing slot was revoked.
+
+        Swaps the old and new slots' bookkeeping in every ancestor
+        interval (net allowance change zero), physically relocating at
+        most one higher-level job.
+        """
+        window = self.jobs[job_id].window
+        old = self.job_slot[job_id]
+        new = self._find_fulfilled_free_slot(window, level, exclude=old)
+        if new is None:
+            raise UnderallocationError(
+                f"MOVE found no alternative fulfilled slot for {window}; "
+                "instance violates the Lemma 8 underallocation assumption",
+                level=level, window=window,
+            )
+        self.tracer.emit("move", job_id, level, f"{old} -> {new}")
+        displaced = self.slot_job.get(new)
+        # Physical relocation: job -> new; displaced higher job (if any) -> old.
+        del self.slot_job[old]
+        if displaced is not None:
+            del self.slot_job[new]
+        self.slot_job[new] = job_id
+        self.job_slot[job_id] = new
+        self._placements[job_id] = Placement(0, new)
+        if displaced is not None:
+            self.slot_job[old] = displaced
+            self.job_slot[displaced] = old
+            self._placements[displaced] = Placement(0, old)
+            self.tracer.emit("displace-swap", displaced, self._job_levels[displaced],
+                             f"{new} -> {old}")
+        # Ancestor bookkeeping swap (Figure 1, lines 12-13).
+        for lv in self.policy.levels_above(level):
+            idx_old = self.policy.interval_index(lv, old)
+            idx_new = self.policy.interval_index(lv, new)
+            if idx_old != idx_new:  # pragma: no cover - defensive
+                raise AssertionError(
+                    "MOVE endpoints must share every ancestor interval"
+                )
+            iv = self.intervals[lv].get(idx_old)
+            if iv is not None:
+                iv.swap_slots(old, new)
+
+    def _occupy(self, job_id: JobId, level: int, slot: int) -> None:
+        """Physically place a job, displacing at most one higher-level job.
+
+        Handles the allowance-shrink cascade of Figure 1 lines 17-21 and
+        recursively re-places the displaced job (line 22-23).
+        """
+        displaced = self.slot_job.get(slot)
+        displaced_level: int | None = None
+        if displaced is not None:
+            displaced_level = self._job_levels[displaced]
+            if displaced_level <= level:  # pragma: no cover - defensive
+                raise AssertionError(
+                    "pecking order violated: displacing a non-higher-level job"
+                )
+            del self.slot_job[slot]
+            del self.job_slot[displaced]
+            del self._placements[displaced]
+            self.tracer.emit("displace", displaced, displaced_level, f"slot {slot}")
+        self.slot_job[slot] = job_id
+        self.job_slot[job_id] = slot
+        self._placements[job_id] = Placement(0, slot)
+        # The slot leaves the allowance of levels (level, top].
+        top = (displaced_level if displaced_level is not None
+               else self.policy.num_reservation_levels)
+        for lv in range(level + 1, top + 1):
+            iv = self.intervals[lv].get(self.policy.interval_index(lv, slot))
+            if iv is not None:
+                iv.slot_lowered(slot)
+                self._rebalance(iv)
+        if displaced is not None:
+            self._place(displaced, self.jobs[displaced].window, displaced_level)
+
+    def _notify_raised(self, slot: int, level: int) -> None:
+        """A level-``level`` job vacated ``slot``: higher allowances grow."""
+        for lv in range(level + 1, self.policy.num_reservation_levels + 1):
+            iv = self.intervals[lv].get(self.policy.interval_index(lv, slot))
+            if iv is not None:
+                iv.slot_raised(slot)
+                self._rebalance(iv)
+
+    def _rebalance(self, iv: Interval) -> None:
+        """Reconcile an interval's assignment and MOVE any revoked jobs."""
+        revoked = iv.rebalance(self._level_job_at(iv.level), self._empty_at)
+        for job_id in revoked:
+            self._move(job_id, iv.level)
+
+    # ------------------------------------------------------------------
+    # level 0: naive pecking-order base case (Lemma 4 at constant size)
+    # ------------------------------------------------------------------
+    def _insert_base(self, job_id: JobId, window: Window) -> None:
+        current_id, current_window = job_id, window
+        for _guard in range(2 * self.policy.base_threshold.bit_length() + 4):
+            slot = self._find_base_slot(current_window)
+            if slot is not None:
+                self.tracer.emit("base-place", current_id, 0, f"slot {slot}")
+                self._occupy(current_id, 0, slot)
+                return
+            victim = self._find_base_victim(current_window)
+            if victim is None:
+                raise InfeasibleError(
+                    f"window {current_window} already holds {current_window.span} "
+                    "jobs with nested windows; instance is infeasible"
+                )
+            # Take the victim's slot: both are level-0 jobs, so no
+            # higher-level allowance changes (the slot stays lowered).
+            vslot = self.job_slot.pop(victim)
+            self.slot_job[vslot] = current_id
+            self.job_slot[current_id] = vslot
+            self._placements[current_id] = Placement(0, vslot)
+            del self._placements[victim]
+            self.tracer.emit("base-cascade", victim, 0, f"evicted from {vslot}")
+            current_id, current_window = victim, self.jobs[victim].window
+        raise AssertionError(  # pragma: no cover - cascade strictly grows spans
+            "base-level cascade exceeded the span-doubling bound"
+        )
+
+    def _find_base_slot(self, window: Window) -> int | None:
+        """A slot in the window free of level-0 jobs; empty preferred."""
+        fallback: int | None = None
+        for s in window.slots():
+            occ = self.slot_job.get(s)
+            if occ is None:
+                return s
+            if self._job_levels[occ] == 0:
+                continue
+            if fallback is None:
+                fallback = s
+        return fallback
+
+    def _find_base_victim(self, window: Window) -> JobId | None:
+        """The level-0 job in the window with the smallest span > |window|.
+
+        Aligned spans strictly above ``|window|`` are at least
+        ``2 * |window|`` — the paper's "span >= 2**(i+1)" condition.
+        """
+        best: JobId | None = None
+        best_key: tuple[int, int] | None = None
+        for s in window.slots():
+            occ = self.slot_job.get(s)
+            if occ is None or self._job_levels[occ] != 0:
+                continue
+            span = self.jobs[occ].span
+            if span <= window.span:
+                continue
+            key = (span, s)
+            if best_key is None or key < best_key:
+                best, best_key = occ, key
+        return best
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _interval(self, level: int, index: int) -> Interval:
+        """Materialize (or fetch) a level-``level`` interval."""
+        table = self.intervals[level]
+        iv = table.get(index)
+        if iv is not None:
+            return iv
+        span = self.policy.interval_span(level)
+        iv = Interval(
+            level=level, index=index,
+            lo=index * span, hi=(index + 1) * span,
+            enclosing_spans=tuple(self.policy.enclosing_spans(level)),
+        )
+        for s in iv.slots():
+            occ = self.slot_job.get(s)
+            if occ is not None and self._job_levels[occ] < level:
+                iv.lower_occupied.add(s)
+        table[index] = iv
+        # Establish baseline fulfillments; a fresh interval has no
+        # assignments, so nothing can be revoked.
+        revoked = iv.rebalance(self._level_job_at(level), self._empty_at)
+        if revoked:  # pragma: no cover - impossible on a fresh interval
+            raise AssertionError("fresh interval revoked jobs")
+        return iv
+
+    def _level_job_at(self, level: int):
+        def probe(slot: int) -> JobId | None:
+            occ = self.slot_job.get(slot)
+            if occ is not None and self._job_levels[occ] == level:
+                return occ
+            return None
+        return probe
+
+    def _empty_at(self, slot: int) -> bool:
+        return slot not in self.slot_job
+
+    def _check_usable(self) -> None:
+        if self._poisoned:
+            raise UnderallocationError(
+                "scheduler previously hit an underallocation failure and its "
+                "internal state is no longer trustworthy; build a fresh one"
+            )
+
+    @property
+    def poisoned(self) -> bool:
+        return self._poisoned
+
+    def level_of(self, job_id: JobId) -> int:
+        """Level at which an active job is managed."""
+        return self._job_levels[job_id]
+
+    def active_levels(self) -> dict[int, int]:
+        """Job count per level (diagnostics / reports)."""
+        counts: dict[int, int] = {}
+        for lv in self._job_levels.values():
+            counts[lv] = counts.get(lv, 0) + 1
+        return dict(sorted(counts.items()))

@@ -1,0 +1,134 @@
+"""Window trimming to ~n and schedule rebuilding (Section 4, end).
+
+The raw reservation scheduler's cost depends on log* of the largest
+window span Delta. To also achieve the ``log* n`` bound, the paper
+maintains an estimate ``n*`` of the active job count (doubling when
+exceeded, halving when the count drops below ``n*/4``) and trims every
+window to span at most ``2 * gamma * n*`` — the trimmed instance stays
+gamma-underallocated because at most ``n*`` other jobs live in the
+trimmed window. Each change of ``n*`` rebuilds the schedule from
+scratch, an amortized O(1) reallocations per request (a rebuild of k
+jobs happens at most once per Omega(k) requests).
+
+:class:`TrimmedReservationScheduler` implements exactly this wrapper
+around :class:`AlignedReservationScheduler`. The deamortized variant
+(even/odd-slot incremental rebuild) lives in ``deamortized.py``.
+
+Trimming keeps the *left-aligned prefix* of the (already aligned)
+window: an aligned window's power-of-two prefix is itself aligned, so
+the inner scheduler's alignment requirement is preserved, and the
+trimmed window nests inside the original, so any feasible placement for
+the trimmed instance is feasible for the true instance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.base import ReallocatingScheduler
+from ..core.events import EventTracer, NullTracer
+from ..core.exceptions import InvalidRequestError
+from ..core.job import Job, JobId, Placement
+from ..core.window import Window
+from ..levels.policy import LevelPolicy, PAPER_POLICY
+from .scheduler import AlignedReservationScheduler
+
+
+def trim_aligned(window: Window, max_span: int) -> Window:
+    """Left prefix of an aligned window with span <= max_span (still aligned)."""
+    if not window.is_aligned:
+        raise ValueError(f"{window} is not aligned")
+    if window.span <= max_span:
+        return window
+    # Largest power of two <= max_span; the prefix of that span is aligned.
+    span = 1 << (max_span.bit_length() - 1)
+    return Window(window.release, window.release + span)
+
+
+class TrimmedReservationScheduler(ReallocatingScheduler):
+    """Aligned single-machine reservation scheduler with n*-trimming.
+
+    Parameters
+    ----------
+    gamma:
+        The underallocation constant used for the trim bound
+        ``2 * gamma * n*`` (power of two; the paper's Lemma 8 needs the
+        *instance* to be 8-underallocated — gamma defaults to 8).
+    policy:
+        Level policy for the inner schedulers.
+    min_n_star:
+        Floor for the n* estimate (avoids degenerate trims at tiny n).
+    """
+
+    def __init__(
+        self,
+        gamma: int = 8,
+        policy: LevelPolicy = PAPER_POLICY,
+        *,
+        min_n_star: int = 4,
+        tracer: EventTracer | NullTracer | None = None,
+    ) -> None:
+        super().__init__(num_machines=1)
+        if gamma < 1 or gamma & (gamma - 1):
+            raise ValueError("gamma must be a positive power of two")
+        if min_n_star < 1 or min_n_star & (min_n_star - 1):
+            raise ValueError("min_n_star must be a positive power of two")
+        self.gamma = gamma
+        self.policy = policy
+        self.min_n_star = min_n_star
+        self.n_star = min_n_star
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.inner = AlignedReservationScheduler(policy, tracer=self.tracer)
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def placements(self) -> Mapping[JobId, Placement]:
+        return self.inner.placements
+
+    @property
+    def trim_span(self) -> int:
+        """Current maximum effective window span: 2 * gamma * n*."""
+        return 2 * self.gamma * self.n_star
+
+    def effective_window(self, window: Window) -> Window:
+        return trim_aligned(window, self.trim_span)
+
+    def _apply_insert(self, job: Job) -> None:
+        if not job.window.is_aligned:
+            raise InvalidRequestError(
+                f"window {job.window} is not aligned; use the alignment wrapper"
+            )
+        if len(self.jobs) > self.n_star:
+            self._resize(self.n_star * 2)
+        eff = job.with_window(self.effective_window(job.window))
+        self.inner.insert(eff)
+
+    def _apply_delete(self, job: Job) -> None:
+        self.inner.delete(job.id)
+        active = len(self.jobs) - 1  # base class removes after we return
+        if active < self.n_star // 4 and self.n_star > self.min_n_star:
+            self._resize(max(self.min_n_star, self.n_star // 2))
+
+    def _resize(self, new_n_star: int) -> None:
+        """Change n* and rebuild the schedule from scratch (amortized O(1))."""
+        self.n_star = new_n_star
+        self.rebuilds += 1
+        self.tracer.emit("rebuild", None, None,
+                         f"n*={new_n_star}, jobs={len(self.inner.jobs)}")
+        survivors = [job for jid, job in self.jobs.items()
+                     if jid in self.inner.jobs]
+        self.inner = AlignedReservationScheduler(self.policy, tracer=self.tracer)
+        # Deterministic rebuild order: short spans first, then by release.
+        survivors.sort(key=lambda j: (j.span, j.release, str(j.id)))
+        for job in survivors:
+            eff = job.with_window(self.effective_window(job.window))
+            self.inner.insert(eff)
+
+    # ------------------------------------------------------------------
+    @property
+    def poisoned(self) -> bool:
+        return self.inner.poisoned
+
+    def active_levels(self) -> dict[int, int]:
+        return self.inner.active_levels()

@@ -1,0 +1,248 @@
+"""Deep invariant validation for the reservation scheduler.
+
+:func:`validate_scheduler` audits the entire internal state of an
+:class:`~repro.reservation.scheduler.AlignedReservationScheduler`
+against first principles (recomputing everything from the occupancy and
+active-job maps), raising :class:`ValidationError` with a precise
+message on the first violation. The checks mirror the paper's
+invariants:
+
+1. occupancy/placement maps are mutually consistent and feasible;
+2. every job's level matches the policy (pecking-order layering);
+3. every materialized interval's ``lower_occupied`` equals the true set
+   of slots under lower-level jobs;
+4. assigned slots lie in the allowance, the owner maps are mutually
+   inverse, and per-window assignment counts equal the pure-function
+   fulfillment target (Observation 7 / Invariants 5-6);
+5. dynamic reservation counts equal the round-robin law for every
+   active window, and no stray reservations exist;
+6. every level-l job sits on a slot assigned to its own window
+   (Invariant 6);
+7. (Lemma 8 health check, optional) every active window retains at
+   least one job-free fulfilled slot.
+
+The test-suite and the simulation driver run this after every request
+in validation mode, so any bookkeeping drift is caught at the request
+that introduced it.
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import ValidationError
+from ..core.window import Window
+from .scheduler import AlignedReservationScheduler
+from .window_state import dynamic_count
+
+
+def validate_scheduler(
+    sched: AlignedReservationScheduler,
+    *,
+    check_lemma8: bool = True,
+) -> None:
+    """Audit all internal invariants; raise ValidationError on failure."""
+    _check_occupancy(sched)
+    _check_levels(sched)
+    for level, table in sched.intervals.items():
+        for iv in table.values():
+            _check_interval(sched, level, iv)
+    _check_window_states(sched)
+    _check_job_backing(sched)
+    if check_lemma8:
+        _check_lemma8(sched)
+
+
+def check_rebuild_equivalence(sched: AlignedReservationScheduler) -> None:
+    """The strongest Observation 7 check: fulfilled sets equal a rebuild's.
+
+    Builds a fresh scheduler, inserts the same active jobs (sorted
+    deterministically), and compares per-interval fulfilled targets on
+    all intervals that carry dynamic reservations in either scheduler.
+    For single-level states this must match exactly; for multi-level
+    states the allowances depend on lower-level *placements*, which are
+    not history independent, so intervals whose ``lower_occupied`` sets
+    differ are skipped (the pure fulfillment function is still compared
+    wherever the inputs agree).
+    """
+    rebuilt = AlignedReservationScheduler(sched.policy)
+    for job in sorted(sched.jobs.values(), key=lambda j: (j.span, j.release, str(j.id))):
+        rebuilt.insert(job)
+    for level, table in sched.intervals.items():
+        for idx, iv in table.items():
+            other = rebuilt.intervals[level].get(idx)
+            if other is None:
+                if iv.dynamic_res:
+                    raise ValidationError(
+                        f"rebuild lacks interval {idx} at level {level} "
+                        "despite live dynamic reservations"
+                    )
+                continue
+            if iv.dynamic_res != other.dynamic_res:
+                raise ValidationError(
+                    f"dynamic reservations diverge from rebuild at level "
+                    f"{level} interval {idx}: {iv.dynamic_res} vs "
+                    f"{other.dynamic_res}"
+                )
+            if iv.lower_occupied == other.lower_occupied:
+                if iv.target_fulfilled() != other.target_fulfilled():
+                    raise ValidationError(
+                        f"fulfillment diverges from rebuild at level {level} "
+                        f"interval {idx}"
+                    )
+
+
+def _fail(msg: str) -> None:
+    raise ValidationError(msg)
+
+
+def _check_occupancy(sched: AlignedReservationScheduler) -> None:
+    if set(sched.job_slot) != set(sched.jobs):
+        _fail("job_slot keys do not match active jobs")
+    for job_id, slot in sched.job_slot.items():
+        if sched.slot_job.get(slot) != job_id:
+            _fail(f"slot_job[{slot}] != {job_id!r}")
+        job = sched.jobs[job_id]
+        if slot not in job.window:
+            _fail(f"job {job_id!r} at slot {slot} outside window {job.window}")
+        pl = sched.placements.get(job_id)
+        if pl is None or pl.slot != slot or pl.machine != 0:
+            _fail(f"placements out of sync for job {job_id!r}")
+    for slot, job_id in sched.slot_job.items():
+        if sched.job_slot.get(job_id) != slot:
+            _fail(f"slot {slot} occupant {job_id!r} has inconsistent job_slot")
+    if len(sched.placements) != len(sched.jobs):
+        _fail("placements size mismatch")
+
+
+def _check_levels(sched: AlignedReservationScheduler) -> None:
+    if set(sched._job_levels) != set(sched.jobs):
+        _fail("_job_levels keys do not match active jobs")
+    for job_id, level in sched._job_levels.items():
+        expected = sched.policy.level_of_span(sched.jobs[job_id].span)
+        if level != expected:
+            _fail(f"job {job_id!r} level {level} != policy level {expected}")
+        if not sched.jobs[job_id].window.is_aligned:
+            _fail(f"job {job_id!r} window not aligned")
+
+
+def _check_interval(sched: AlignedReservationScheduler, level: int, iv) -> None:
+    where = f"interval level={level} idx={iv.index}"
+    # lower_occupied recomputed from occupancy
+    true_lower = {
+        s for s in iv.slots()
+        if (occ := sched.slot_job.get(s)) is not None
+        and sched._job_levels[occ] < level
+    }
+    if iv.lower_occupied != true_lower:
+        _fail(f"{where}: lower_occupied {sorted(iv.lower_occupied)} != "
+              f"true {sorted(true_lower)}")
+    # owner maps mutually inverse, assigned within allowance
+    seen: dict[int, Window] = {}
+    for w, slots in iv.assigned.items():
+        if not slots:
+            _fail(f"{where}: empty assigned set kept for {w}")
+        for s in slots:
+            if not iv.in_allowance(s):
+                _fail(f"{where}: assigned slot {s} of {w} outside allowance")
+            if s in seen:
+                _fail(f"{where}: slot {s} assigned to both {seen[s]} and {w}")
+            seen[s] = w
+            if iv.slot_owner.get(s) != w:
+                _fail(f"{where}: slot_owner[{s}] != {w}")
+    if set(iv.slot_owner) != set(seen):
+        _fail(f"{where}: slot_owner keys inconsistent with assigned sets")
+    # fulfillment equals the pure-function target (Observation 7)
+    target = iv.target_fulfilled()
+    for w, want in target.items():
+        have = len(iv.assigned.get(w, ()))
+        if have != want:
+            _fail(f"{where}: window {w} assigned {have} != target {want}")
+    for w in iv.assigned:
+        if w not in target:
+            _fail(f"{where}: assignment for non-enclosing window {w}")
+    # no stray dynamic reservations
+    for w, count in iv.dynamic_res.items():
+        if count <= 0:
+            _fail(f"{where}: non-positive dynamic count for {w}")
+        ws = sched.window_states[level].get(w)
+        if ws is None:
+            _fail(f"{where}: dynamic reservations for inactive window {w}")
+
+
+def _check_window_states(sched: AlignedReservationScheduler) -> None:
+    for level, states in sched.window_states.items():
+        for w, ws in states.items():
+            if ws.x == 0:
+                _fail(f"window state kept for empty window {w}")
+            if ws.level != level:
+                _fail(f"window state level mismatch for {w}")
+            for job_id in ws.jobs:
+                if job_id not in sched.jobs:
+                    _fail(f"window {w} tracks inactive job {job_id!r}")
+                if sched.jobs[job_id].window != w:
+                    _fail(f"job {job_id!r} tracked under wrong window {w}")
+            # round-robin law (Invariant 5): check materialized intervals;
+            # non-materialized intervals must be owed zero dynamics.
+            for idx in ws.interval_ids:
+                pos = ws.position_of(idx)
+                expected = dynamic_count(ws.x, ws.n_intervals, pos)
+                iv = sched.intervals[level].get(idx)
+                actual = iv.dynamic_res.get(w, 0) if iv is not None else 0
+                if actual != expected:
+                    _fail(
+                        f"window {w} interval {idx}: dynamic reservations "
+                        f"{actual} != round-robin law {expected}"
+                    )
+    # every active job of level >= 1 is tracked by exactly one window state
+    for job_id, level in sched._job_levels.items():
+        if level == 0:
+            continue
+        w = sched.jobs[job_id].window
+        ws = sched.window_states[level].get(w)
+        if ws is None or job_id not in ws.jobs:
+            _fail(f"job {job_id!r} missing from window state of {w}")
+
+
+def _check_job_backing(sched: AlignedReservationScheduler) -> None:
+    """Invariant 6: every level-l (l>=1) job sits on its window's slot."""
+    for job_id, level in sched._job_levels.items():
+        if level == 0:
+            continue
+        slot = sched.job_slot[job_id]
+        w = sched.jobs[job_id].window
+        idx = sched.policy.interval_index(level, slot)
+        iv = sched.intervals[level].get(idx)
+        if iv is None:
+            _fail(f"job {job_id!r} placed in non-materialized interval {idx}")
+        if slot not in iv.assigned.get(w, ()):
+            _fail(
+                f"job {job_id!r} at slot {slot} not backed by a fulfilled "
+                f"reservation of its window {w}"
+            )
+
+
+def _check_lemma8(sched: AlignedReservationScheduler) -> None:
+    """Every active window keeps >= 1 job-free fulfilled slot (Lemma 8)."""
+    for level, states in sched.window_states.items():
+        for w, ws in states.items():
+            free = 0
+            occupied_by_own = 0
+            for idx in ws.interval_ids:
+                iv = sched.intervals[level].get(idx)
+                if iv is None:
+                    continue
+                for s in iv.assigned.get(w, ()):
+                    occ = sched.slot_job.get(s)
+                    if occ is not None and sched._job_levels[occ] == level:
+                        occupied_by_own += 1
+                    else:
+                        free += 1
+            if occupied_by_own != ws.x:
+                _fail(
+                    f"window {w}: {occupied_by_own} fulfilled slots hold "
+                    f"level-{level} jobs but x={ws.x}"
+                )
+            if free < 1:
+                _fail(
+                    f"window {w}: no job-free fulfilled slot remains "
+                    f"(x={ws.x}); Lemma 8 margin exhausted"
+                )

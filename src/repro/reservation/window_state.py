@@ -1,0 +1,103 @@
+"""Per-window reservation state and the round-robin distribution law.
+
+Invariant 5 of the paper: a level-l window ``W`` with span ``2**k * L_l``
+containing ``x`` jobs holds exactly ``2x + 2**k`` reservations in level-l
+intervals — one standing ("baseline") reservation per enclosed interval
+plus two per job — distributed round-robin with the leftmost intervals
+holding the most.
+
+We implement the distribution as a *pure function* of ``x``
+(:func:`rr_counts`): interval at position ``i`` (0-based from the left)
+holds ``1 + floor(2x / 2**k) + (1 if i < (2x mod 2**k) else 0)``
+reservations. Incrementing ``x`` changes exactly two positions by +1 and
+decrementing reverses it (:func:`rr_diff`), which is precisely the
+paper's "send two new reservations to the leftmost intervals that have
+the least" / "remove one from each of the two rightmost with the most".
+Keeping the law functional makes Observation 7 (history independence of
+the fulfilled sets) literally true by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.job import JobId
+from ..core.window import Window
+
+
+def rr_counts(x: int, n_intervals: int) -> list[int]:
+    """Reservation count per interval position for a window with x jobs.
+
+    Includes the baseline (the leading ``1 +``). ``n_intervals`` must be
+    the window's ``2**k`` interval count.
+    """
+    if x < 0:
+        raise ValueError("x must be >= 0")
+    if n_intervals < 1:
+        raise ValueError("n_intervals must be >= 1")
+    q, r = divmod(2 * x, n_intervals)
+    return [1 + q + (1 if i < r else 0) for i in range(n_intervals)]
+
+
+def rr_diff(x_old: int, x_new: int, n_intervals: int) -> dict[int, int]:
+    """Positions whose reservation count changes when x_old -> x_new.
+
+    Returns {position: delta}. For ``|x_new - x_old| == 1`` exactly two
+    positions change by +/-1 (possibly wrapping around the interval
+    list), matching the paper's incremental description.
+    """
+    old = rr_counts(x_old, n_intervals)
+    new = rr_counts(x_new, n_intervals)
+    return {i: new[i] - old[i] for i in range(n_intervals) if new[i] != old[i]}
+
+
+def dynamic_count(x: int, n_intervals: int, position: int) -> int:
+    """Dynamic (non-baseline) reservations at one position: rr_counts - 1."""
+    q, r = divmod(2 * x, n_intervals)
+    return q + (1 if position < r else 0)
+
+
+@dataclass
+class WindowState:
+    """Mutable bookkeeping for one active level-l window.
+
+    Created when the window's first job arrives (x: 0 -> 1) and dropped
+    when its last job leaves. The *baseline* reservation (one per
+    interval) is conceptually eternal — the intervals account for it
+    implicitly for every enclosing window, so it does not appear here.
+
+    Attributes
+    ----------
+    window:
+        The aligned level-l window.
+    level:
+        Reservation level (>= 1).
+    interval_ids:
+        Indices of the ``2**k`` level-l intervals partitioning the window.
+    jobs:
+        Ids of active jobs whose (effective) window is exactly this one.
+    """
+
+    window: Window
+    level: int
+    interval_ids: range
+    jobs: set[JobId] = field(default_factory=set)
+
+    @property
+    def x(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self.interval_ids)
+
+    def position_of(self, interval_id: int) -> int:
+        """0-based left-to-right position of an interval inside the window."""
+        pos = interval_id - self.interval_ids.start
+        if not 0 <= pos < self.n_intervals:
+            raise ValueError(f"interval {interval_id} not in window {self.window}")
+        return pos
+
+    def expected_dynamic(self, interval_id: int) -> int:
+        """Dynamic reservation count this window should hold at an interval."""
+        return dynamic_count(self.x, self.n_intervals, self.position_of(interval_id))

@@ -1,0 +1,27 @@
+"""Simulation harness: drivers, metrics, growth fitting, text reports."""
+
+from .breakdown import breakdown_table, by_level, cascade_depths, movement_breakdown
+from .driver import RunResult, run_comparison, run_sequence
+from .metrics import GrowthFit, doubling_series, fit_growth, summarize_series
+from .replay import ExecutionTrace, shrink_failing_prefix
+from .report import experiment_header, format_series, format_table, sparkline
+
+__all__ = [
+    "breakdown_table",
+    "by_level",
+    "cascade_depths",
+    "movement_breakdown",
+    "ExecutionTrace",
+    "shrink_failing_prefix",
+    "RunResult",
+    "run_comparison",
+    "run_sequence",
+    "GrowthFit",
+    "doubling_series",
+    "fit_growth",
+    "summarize_series",
+    "experiment_header",
+    "format_series",
+    "format_table",
+    "sparkline",
+]

@@ -1,0 +1,133 @@
+"""The simulation driver: run request sequences through schedulers.
+
+:func:`run_sequence` feeds a :class:`~repro.core.requests.RequestSequence`
+to any :class:`~repro.core.base.ReallocatingScheduler`, optionally
+verifying feasibility after every request (so every experiment doubles
+as a correctness audit) and optionally validating the reservation
+scheduler's internal invariants. It returns a :class:`RunResult` with
+the cost ledger and summary statistics.
+
+:func:`run_comparison` runs several schedulers over the same sequence
+and aligns their ledgers for head-to-head reporting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..core.base import ReallocatingScheduler
+from ..core.costs import CostLedger
+from ..core.exceptions import ReproError
+from ..core.requests import RequestSequence
+from ..core.schedule import verify_schedule
+
+
+@dataclass
+class RunResult:
+    """Outcome of driving one scheduler over one request sequence."""
+
+    scheduler_name: str
+    ledger: CostLedger
+    requests_processed: int
+    wall_time_s: float
+    failed: bool = False
+    failure: str | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def summary(self) -> dict:
+        out = {"scheduler": self.scheduler_name,
+               "processed": self.requests_processed,
+               "wall_s": round(self.wall_time_s, 4)}
+        out.update(self.ledger.summary())
+        if self.failed:
+            out["FAILED"] = self.failure
+        return out
+
+
+def run_sequence(
+    scheduler: ReallocatingScheduler,
+    sequence: RequestSequence,
+    *,
+    verify_each: bool = True,
+    validate_each: Callable[[ReallocatingScheduler], None] | None = None,
+    stop_on_error: bool = True,
+    name: str | None = None,
+) -> RunResult:
+    """Drive ``sequence`` through ``scheduler``.
+
+    Parameters
+    ----------
+    verify_each:
+        Check schedule feasibility after every request (default on; turn
+        off only for throughput benchmarks).
+    validate_each:
+        Optional extra validator called with the scheduler after each
+        request (e.g. reservation invariant validation).
+    stop_on_error:
+        If False, a scheduler failure (InfeasibleError or
+        UnderallocationError) ends the run gracefully with
+        ``failed=True`` instead of raising — used by the gamma-threshold
+        ablation, which probes exactly where schedulers break.
+    """
+    label = name if name is not None else type(scheduler).__name__
+    processed = 0
+    t0 = time.perf_counter()
+    try:
+        for request in sequence:
+            scheduler.apply(request)
+            processed += 1
+            if verify_each:
+                verify_schedule(
+                    scheduler.jobs, scheduler.placements,
+                    scheduler.num_machines,
+                    where=f"{label} after request {processed}",
+                )
+            if validate_each is not None:
+                validate_each(scheduler)
+    except ReproError as exc:
+        if stop_on_error:
+            raise
+        return RunResult(
+            scheduler_name=label,
+            ledger=scheduler.ledger,
+            requests_processed=processed,
+            wall_time_s=time.perf_counter() - t0,
+            failed=True,
+            failure=f"{type(exc).__name__}: {exc}",
+        )
+    return RunResult(
+        scheduler_name=label,
+        ledger=scheduler.ledger,
+        requests_processed=processed,
+        wall_time_s=time.perf_counter() - t0,
+    )
+
+
+def run_comparison(
+    factories: Mapping[str, Callable[[], ReallocatingScheduler]],
+    sequence: RequestSequence,
+    *,
+    verify_each: bool = True,
+    stop_on_error: bool = True,
+) -> dict[str, RunResult]:
+    """Run several schedulers over the same sequence (fresh instance each)."""
+    results: dict[str, RunResult] = {}
+    for label, factory in factories.items():
+        results[label] = run_sequence(
+            factory(), sequence,
+            verify_each=verify_each,
+            stop_on_error=stop_on_error,
+            name=label,
+        )
+    return results
+
+
+def max_cost_series(
+    results: Sequence[RunResult],
+    key: str = "max_realloc",
+) -> list[tuple[str, float]]:
+    """Extract one summary metric across runs (label, value) for reports."""
+    return [(r.scheduler_name, r.summary.get(key, float("nan"))) for r in results]

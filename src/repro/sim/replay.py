@@ -1,0 +1,118 @@
+"""Trace recording and replay.
+
+An :class:`ExecutionTrace` captures a full run — the request sequence
+plus the placement snapshot after every request — in a JSON-serializable
+form. Uses:
+
+- **Regression pinning:** record a trace from a known-good build; replay
+  later and diff placements to detect behavioural drift (all schedulers
+  are deterministic, so placements must match bit-for-bit).
+- **Debugging:** shrink a failing random workload to the shortest
+  prefix that still violates an invariant (``shrink_failing_prefix``).
+- **Cross-scheduler audits:** replay one scheduler's trace through the
+  feasibility checker without re-running the scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.base import ReallocatingScheduler
+from ..core.exceptions import ReproError
+from ..core.job import Placement
+from ..core.requests import RequestSequence
+
+
+@dataclass
+class ExecutionTrace:
+    """A request sequence plus per-request placement snapshots."""
+
+    sequence_json: str
+    snapshots: list[dict[str, list[int]]] = field(default_factory=list)
+    scheduler_name: str = ""
+
+    @classmethod
+    def record(
+        cls,
+        scheduler: ReallocatingScheduler,
+        sequence: RequestSequence,
+    ) -> "ExecutionTrace":
+        """Run the sequence, snapshotting placements after each request."""
+        trace = cls(sequence_json=sequence.to_json(),
+                    scheduler_name=type(scheduler).__name__)
+        for request in sequence:
+            scheduler.apply(request)
+            trace.snapshots.append({
+                str(job_id): [pl.machine, pl.slot]
+                for job_id, pl in scheduler.placements.items()
+            })
+        return trace
+
+    def replay_and_diff(
+        self,
+        scheduler_factory: Callable[[], ReallocatingScheduler],
+    ) -> list[int]:
+        """Re-run on a fresh scheduler; return indices of diverging requests.
+
+        An empty list means the behaviour is identical to the recording
+        (expected for our deterministic schedulers).
+        """
+        sequence = RequestSequence.from_json(self.sequence_json)
+        scheduler = scheduler_factory()
+        diverging = []
+        for i, request in enumerate(sequence):
+            scheduler.apply(request)
+            now = {
+                str(job_id): [pl.machine, pl.slot]
+                for job_id, pl in scheduler.placements.items()
+            }
+            if now != self.snapshots[i]:
+                diverging.append(i)
+        return diverging
+
+    def final_placements(self) -> dict[str, Placement]:
+        if not self.snapshots:
+            return {}
+        return {job: Placement(m, s)
+                for job, (m, s) in self.snapshots[-1].items()}
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({
+            "scheduler": self.scheduler_name,
+            "sequence": json.loads(self.sequence_json),
+            "snapshots": self.snapshots,
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionTrace":
+        data = json.loads(text)
+        return cls(
+            sequence_json=json.dumps(data["sequence"]),
+            snapshots=data["snapshots"],
+            scheduler_name=data.get("scheduler", ""),
+        )
+
+
+def shrink_failing_prefix(
+    sequence: RequestSequence,
+    scheduler_factory: Callable[[], ReallocatingScheduler],
+    probe: Callable[[ReallocatingScheduler], None],
+) -> int | None:
+    """Shortest prefix length after which ``probe`` raises.
+
+    ``probe`` is any checker (e.g. the reservation invariant validator);
+    returns None if the full sequence never fails. Binary search is not
+    sound here (failures need not be monotone), so this walks forward —
+    fine for test-sized sequences.
+    """
+    scheduler = scheduler_factory()
+    for i, request in enumerate(sequence):
+        try:
+            scheduler.apply(request)
+            probe(scheduler)
+        except ReproError:
+            return i + 1
+    return None

@@ -1,0 +1,73 @@
+"""Plain-text tables and series rendering for experiment output.
+
+The benchmark harness prints the same rows/series a paper table or
+figure would carry. No plotting dependencies: figures are rendered as
+aligned-column series (x, one column per scheduler) plus an ASCII spark
+bar, which is enough to see shapes (flat vs log vs linear vs quadratic)
+in CI logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e9:
+            return str(int(value))
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    columns: Mapping[str, Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a figure-like series: one row per x, one column per line."""
+    headers = [x_label] + list(columns)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [col[i] for col in columns.values()])
+    return format_table(headers, rows, title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """ASCII bar chart (one row per value) for eyeballing growth shapes."""
+    if not values:
+        return "(empty)"
+    peak = max(values) or 1
+    lines = []
+    for v in values:
+        bar = "#" * max(1, round(width * v / peak)) if v > 0 else ""
+        lines.append(f"{v:>10.2f} |{bar}")
+    return "\n".join(lines)
+
+
+def experiment_header(exp_id: str, claim: str) -> str:
+    """Uniform banner for benchmark output (ties output to EXPERIMENTS.md)."""
+    bar = "=" * 72
+    return f"{bar}\n{exp_id}: {claim}\n{bar}"

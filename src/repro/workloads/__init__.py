@@ -1,0 +1,16 @@
+"""Workload generators: random underallocated churn, scenarios, adversaries."""
+
+from .random_aligned import (
+    AlignedWorkloadConfig,
+    random_aligned_sequence,
+    saturated_aligned_jobs,
+)
+from .scenarios import appointment_book_sequence, cluster_trace_sequence
+
+__all__ = [
+    "AlignedWorkloadConfig",
+    "random_aligned_sequence",
+    "saturated_aligned_jobs",
+    "appointment_book_sequence",
+    "cluster_trace_sequence",
+]

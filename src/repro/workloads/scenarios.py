@@ -1,0 +1,152 @@
+"""Scenario workloads: the settings the paper's introduction motivates.
+
+Two realistic request-sequence generators exercising the public API the
+way a deployment would:
+
+- :func:`appointment_book_sequence` — the doctor's office from the
+  paper's opening: patients phone in with an availability window
+  ("any time Tuesday afternoon"), some later cancel. Windows are
+  human-shaped: a mix of narrow (span 2-4 slots) and flexible (span up
+  to a day), start times anywhere (unaligned), arrival order roughly by
+  requested day.
+- :func:`cluster_trace_sequence` — the multiprocessor setting: batch
+  jobs with deadlines arriving in bursts, machine count m > 1, heavy
+  churn (jobs finish and leave), spans distributed log-uniformly.
+
+Both enforce a target underallocation with the interval-density
+certificate so the reservation scheduler's assumptions hold, and both
+are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.job import Job
+from ..core.requests import DeleteJob, InsertJob, RequestSequence
+from ..core.window import Window
+from ..feasibility.hall import LaminarLoadTree
+
+
+def _admit(tree: LaminarLoadTree, window: Window, m: int, gamma: int) -> bool:
+    """Density admission test for an *unaligned* window.
+
+    We budget against the aligned core ALIGNED(W) (what the scheduler
+    will actually use), which by Lemma 10 keeps the aligned instance
+    gamma-underallocated and the true instance at least as slack.
+    """
+    return tree.would_fit(window.aligned_within(), m, gamma)
+
+
+def appointment_book_sequence(
+    *,
+    days: int = 8,
+    slots_per_day: int = 32,
+    requests: int = 400,
+    cancel_fraction: float = 0.25,
+    gamma: int = 8,
+    seed: int = 0,
+) -> RequestSequence:
+    """Doctor's-office appointment churn (paper Section 1 motivation).
+
+    Slots are e.g. 15-minute increments; a patient asks for a window
+    within one day (narrow: a specific hour; flexible: whole morning,
+    whole day). Cancellations arrive randomly among active patients.
+    """
+    rng = np.random.default_rng(seed)
+    horizon_bits = (days * slots_per_day - 1).bit_length()
+    horizon = 1 << horizon_bits
+    tree = LaminarLoadTree(horizon)
+    seq = RequestSequence()
+    active: list[str] = []
+    uid = 0
+    flavors = [
+        (2, 4),                      # "that specific hour"
+        (4, 8),                      # "early afternoon"
+        (slots_per_day // 2, slots_per_day // 2),  # "any time that morning"
+        (slots_per_day, slots_per_day),            # "any time that day"
+    ]
+    tries = 80
+    while len(seq) < requests:
+        if active and rng.random() < cancel_fraction:
+            victim = active.pop(int(rng.integers(len(active))))
+            tree.remove(victim)
+            seq.append(DeleteJob(victim))
+            continue
+        placed = False
+        for _ in range(tries):
+            day = int(rng.integers(days))
+            lo_span, hi_span = flavors[int(rng.integers(len(flavors)))]
+            span = int(rng.integers(lo_span, hi_span + 1))
+            start_in_day = int(rng.integers(0, slots_per_day - span + 1))
+            start = day * slots_per_day + start_in_day
+            w = Window(start, start + span)
+            if _admit(tree, w, 1, gamma):
+                job_id = f"patient{uid}"
+                uid += 1
+                tree.add(job_id, w.aligned_within())
+                seq.append(InsertJob(Job(job_id, w)))
+                active.append(job_id)
+                placed = True
+                break
+        if not placed:
+            if not active:
+                raise RuntimeError("appointment book saturated with no patients")
+            victim = active.pop(int(rng.integers(len(active))))
+            tree.remove(victim)
+            seq.append(DeleteJob(victim))
+    return seq
+
+
+def cluster_trace_sequence(
+    *,
+    num_machines: int = 4,
+    horizon: int = 1 << 12,
+    requests: int = 600,
+    burst_size: int = 6,
+    finish_fraction: float = 0.4,
+    gamma: int = 8,
+    seed: int = 0,
+) -> RequestSequence:
+    """Bursty multiprocessor batch workload with deadlines.
+
+    Jobs arrive in bursts around a moving "current time"; spans are
+    log-uniform between 4 and horizon/4; jobs leave (finish/cancel) at
+    the given churn rate.
+    """
+    rng = np.random.default_rng(seed)
+    tree = LaminarLoadTree(horizon)
+    seq = RequestSequence()
+    active: list[str] = []
+    uid = 0
+    max_log = (horizon // 4).bit_length() - 1
+    while len(seq) < requests:
+        if active and rng.random() < finish_fraction:
+            victim = active.pop(int(rng.integers(len(active))))
+            tree.remove(victim)
+            seq.append(DeleteJob(victim))
+            continue
+        center = int(rng.integers(0, horizon))
+        burst = int(rng.integers(1, burst_size + 1))
+        for _ in range(burst):
+            if len(seq) >= requests:
+                break
+            placed = False
+            for _ in range(60):
+                span = int(1 << rng.integers(2, max_log + 1))
+                jitter = int(rng.integers(-span, span + 1))
+                start = max(0, min(horizon - span, center + jitter))
+                w = Window(start, start + span)
+                if _admit(tree, w, num_machines, gamma):
+                    job_id = f"task{uid}"
+                    uid += 1
+                    tree.add(job_id, w.aligned_within())
+                    seq.append(InsertJob(Job(job_id, w)))
+                    active.append(job_id)
+                    placed = True
+                    break
+            if not placed and active:
+                victim = active.pop(int(rng.integers(len(active))))
+                tree.remove(victim)
+                seq.append(DeleteJob(victim))
+    return seq

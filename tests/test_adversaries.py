@@ -1,0 +1,112 @@
+"""Tests for the Section 6 lower-bound adversaries."""
+
+import pytest
+
+from repro.adversaries import (
+    MigrationAdversaryResult,
+    ReallocLowerBound,
+    SizedLowerBound,
+    run_migration_adversary,
+    sized_pump_sequence,
+    staircase_toggle_sequence,
+)
+from repro.baselines import (
+    EDFRebuildScheduler,
+    MinChangeMatchingScheduler,
+    SizedGreedyScheduler,
+)
+from repro.core import verify_schedule
+
+
+class TestMigrationAdversary:
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_forces_migrations_on_edf(self, m):
+        sched = EDFRebuildScheduler(m)
+        result = run_migration_adversary(sched, rounds=4)
+        # Lemma 11: >= m/2 migrations per round.
+        assert result.total_migrations >= 4 * (m // 2)
+        assert result.requests == 4 * 6 * m
+
+    def test_forces_migrations_on_minchange(self):
+        """Even the per-request-optimal scheduler must migrate."""
+        sched = MinChangeMatchingScheduler(2)
+        result = run_migration_adversary(sched, rounds=3)
+        assert result.total_migrations >= 3  # m/2 = 1 per round
+
+    def test_rejects_odd_machines(self):
+        with pytest.raises(ValueError):
+            run_migration_adversary(EDFRebuildScheduler(3), rounds=1)
+        with pytest.raises(ValueError):
+            run_migration_adversary(EDFRebuildScheduler(1), rounds=1)
+
+    def test_result_accessors(self):
+        r = MigrationAdversaryResult(requests=120, rounds=10,
+                                     total_migrations=12, total_reallocations=50)
+        assert r.migrations_per_request == pytest.approx(0.1)
+        assert r.lower_bound == pytest.approx(10.0)
+
+
+class TestStaircaseToggle:
+    def test_sequence_shape(self):
+        seq = staircase_toggle_sequence(5, toggles=4)
+        assert len(seq) == 5 + 2 * 4
+        # staircase jobs stay active throughout
+        assert len(seq.final_active_jobs) == 5
+
+    def test_quadratic_cost_on_edf(self):
+        eta = 12
+        seq = staircase_toggle_sequence(eta)
+        sched = EDFRebuildScheduler(1)
+        for req in seq:
+            sched.apply(req)
+            verify_schedule(sched.jobs, sched.placements, 1)
+        bound = ReallocLowerBound(eta, eta)
+        assert sched.ledger.total_reallocations >= bound.min_total_reallocations
+
+    def test_quadratic_cost_on_minchange(self):
+        """The bound holds for ANY scheduler, including per-request optimal."""
+        eta = 8
+        seq = staircase_toggle_sequence(eta)
+        sched = MinChangeMatchingScheduler(1)
+        for req in seq:
+            sched.apply(req)
+        bound = ReallocLowerBound(eta, eta)
+        assert sched.ledger.total_reallocations >= bound.min_total_reallocations
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            staircase_toggle_sequence(0)
+
+
+class TestSizedPump:
+    def test_sequence_valid(self):
+        seq = sized_pump_sequence(k=4, gamma=2, sweeps=2)
+        sched = SizedGreedyScheduler(1)
+        for req in seq:
+            sched.apply(req)
+            verify_schedule(sched.jobs, sched.placements, 1)
+
+    def test_omega_kn_cost(self):
+        k, gamma, sweeps = 4, 2, 3
+        seq = sized_pump_sequence(k=k, gamma=gamma, sweeps=sweeps)
+        sched = SizedGreedyScheduler(1)
+        for req in seq:
+            sched.apply(req)
+        bound = SizedLowerBound(k, gamma, sweeps)
+        assert sched.ledger.total_reallocations >= bound.min_total_reallocations
+
+    def test_cost_scales_with_k(self):
+        totals = {}
+        for k in (2, 4, 8):
+            seq = sized_pump_sequence(k=k, gamma=2, sweeps=2)
+            sched = SizedGreedyScheduler(1)
+            for req in seq:
+                sched.apply(req)
+            totals[k] = sched.ledger.total_reallocations
+        assert totals[8] > totals[4] > totals[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sized_pump_sequence(k=1, gamma=2, sweeps=1)
+        with pytest.raises(ValueError):
+            sized_pump_sequence(k=4, gamma=0, sweeps=1)

@@ -1,0 +1,89 @@
+"""Tests for mechanism attribution and rebuild-equivalence validation."""
+
+import pytest
+
+from repro.core import EventTracer, Job, Window
+from repro.reservation import AlignedReservationScheduler
+from repro.reservation.validation import check_rebuild_equivalence
+from repro.sim.breakdown import (
+    breakdown_table,
+    by_level,
+    cascade_depths,
+    movement_breakdown,
+)
+from repro.workloads import AlignedWorkloadConfig, random_aligned_sequence
+
+
+def traced_run(seed=0, requests=150, horizon=1 << 11):
+    tracer = EventTracer()
+    sched = AlignedReservationScheduler(tracer=tracer)
+    cfg = AlignedWorkloadConfig(
+        num_requests=requests, horizon=horizon, max_span=horizon,
+        gamma=8, delete_fraction=0.35,
+    )
+    for req in random_aligned_sequence(cfg, seed=seed):
+        sched.apply(req)
+    return sched, tracer
+
+
+class TestMovementBreakdown:
+    def test_counts_match_ledger(self):
+        sched, tracer = traced_run()
+        shares = movement_breakdown(tracer)
+        total = sum(s.count for s in shares)
+        assert total >= sched.ledger.total_reallocations
+        assert abs(sum(s.share for s in shares) - 1.0) < 1e-9 or not shares
+
+    def test_breakdown_table_renders(self):
+        sched, tracer = traced_run(seed=3)
+        text = breakdown_table(tracer, title="T")
+        assert "T" in text
+        if sched.ledger.total_reallocations:
+            assert "moves" in text
+
+    def test_empty_tracer(self):
+        assert "no movements" in breakdown_table(EventTracer())
+
+    def test_by_level(self):
+        _sched, tracer = traced_run(seed=5)
+        levels = by_level(tracer, actions={"base-cascade", "displace",
+                                           "move", "displace-swap"})
+        for lv in levels:
+            assert 0 <= lv <= 2
+
+    def test_cascade_depths_bounded_by_lemma4(self):
+        """Base-level cascades never exceed log2(L_1) = 5 steps."""
+        _sched, tracer = traced_run(seed=7, requests=300)
+        for depth in cascade_depths(tracer):
+            assert depth <= 5
+
+    def test_cascade_depth_detection(self):
+        t = EventTracer()
+        t.emit("base-cascade", "a", 0)
+        t.emit("base-cascade", "b", 0)
+        t.emit("base-place", "c", 0)
+        t.emit("base-place", "d", 0)
+        t.emit("base-cascade", "e", 0)
+        assert cascade_depths(t) == [2, 1]
+
+
+class TestRebuildEquivalence:
+    def test_clean_after_churn(self):
+        sched, _ = traced_run(seed=11)
+        check_rebuild_equivalence(sched)
+
+    def test_clean_across_scales(self):
+        for seed in (0, 1, 2):
+            sched, _ = traced_run(seed=seed, requests=80, horizon=512)
+            check_rebuild_equivalence(sched)
+
+    def test_detects_tampering(self):
+        from repro.core import ValidationError
+        sched = AlignedReservationScheduler()
+        for i in range(4):
+            sched.insert(Job(i, Window(0, 64)))
+        # sabotage: add a phantom dynamic reservation
+        iv = next(iter(sched.intervals[1].values()))
+        iv.add_dynamic(Window(0, 64), 1)
+        with pytest.raises(ValidationError):
+            check_rebuild_equivalence(sched)

@@ -1,0 +1,250 @@
+"""Unit tests for jobs, placements, requests, schedules, and cost accounting."""
+
+import pytest
+
+from repro.core import (
+    CostLedger,
+    InvalidRequestError,
+    Job,
+    Placement,
+    RequestSequence,
+    ValidationError,
+    Window,
+    diff_placements,
+    insert,
+    delete,
+    verify_schedule,
+    is_feasible_schedule,
+    machine_loads,
+    format_schedule,
+)
+from repro.core.costs import bucket_max_by_n, merge_ledgers
+
+
+class TestJob:
+    def test_basic(self):
+        j = Job("a", Window(0, 4))
+        assert j.span == 4 and j.size == 1
+        assert j.release == 0 and j.deadline == 4
+
+    def test_size_must_fit(self):
+        with pytest.raises(ValueError):
+            Job("a", Window(0, 2), size=3)
+
+    def test_size_positive(self):
+        with pytest.raises(ValueError):
+            Job("a", Window(0, 4), size=0)
+
+    def test_with_window(self):
+        j = Job("a", Window(0, 8)).with_window(Window(0, 4))
+        assert j.window == Window(0, 4) and j.id == "a"
+
+    def test_admissible_start_unit(self):
+        j = Job("a", Window(2, 5))
+        assert j.admissible_start(2) and j.admissible_start(4)
+        assert not j.admissible_start(1) and not j.admissible_start(5)
+
+    def test_admissible_start_sized(self):
+        j = Job("a", Window(0, 10), size=4)
+        assert j.admissible_start(0) and j.admissible_start(6)
+        assert not j.admissible_start(7)
+
+    def test_placement_validation(self):
+        with pytest.raises(ValueError):
+            Placement(-1, 0)
+
+
+class TestRequestSequence:
+    def test_build_and_active(self):
+        seq = RequestSequence()
+        seq.insert("a", 0, 4)
+        seq.insert("b", 0, 2)
+        seq.delete("a")
+        assert len(seq) == 3
+        assert set(seq.final_active_jobs) == {"b"}
+        assert seq.max_active == 2
+
+    def test_double_insert_rejected(self):
+        seq = RequestSequence([insert("a", 0, 4)])
+        with pytest.raises(InvalidRequestError):
+            seq.insert("a", 0, 8)
+
+    def test_delete_unknown_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            RequestSequence([delete("ghost")])
+
+    def test_reinsert_after_delete_ok(self):
+        seq = RequestSequence()
+        seq.insert("a", 0, 4)
+        seq.delete("a")
+        seq.insert("a", 8, 16)
+        assert seq.final_active_jobs["a"].window == Window(8, 16)
+
+    def test_active_after_prefix(self):
+        seq = RequestSequence()
+        seq.insert("a", 0, 4)
+        seq.insert("b", 0, 4)
+        seq.delete("a")
+        assert set(seq.active_after(0)) == set()
+        assert set(seq.active_after(2)) == {"a", "b"}
+        assert set(seq.active_after(3)) == {"b"}
+
+    def test_active_sets_stream(self):
+        seq = RequestSequence()
+        seq.insert("a", 0, 4)
+        seq.delete("a")
+        sets = list(seq.active_sets())
+        assert list(map(set, sets)) == [{"a"}, set()]
+
+    def test_max_span_and_horizon(self):
+        seq = RequestSequence()
+        seq.insert("a", 0, 4)
+        seq.insert("b", 8, 24)
+        assert seq.max_span() == 16
+        assert seq.time_horizon() == 24
+
+    def test_json_roundtrip(self):
+        seq = RequestSequence()
+        seq.insert("a", 0, 4, size=2)
+        seq.insert("b", 4, 8)
+        seq.delete("a")
+        again = RequestSequence.from_json(seq.to_json())
+        assert len(again) == 3
+        assert again.final_active_jobs.keys() == seq.final_active_jobs.keys()
+        assert again.final_active_jobs["b"].window == Window(4, 8)
+
+
+class TestScheduleVerification:
+    def jobs(self):
+        return {
+            "a": Job("a", Window(0, 4)),
+            "b": Job("b", Window(0, 2)),
+        }
+
+    def test_valid(self):
+        placements = {"a": Placement(0, 3), "b": Placement(0, 1)}
+        verify_schedule(self.jobs(), placements, 1)
+
+    def test_missing_job(self):
+        with pytest.raises(ValidationError, match="without placement"):
+            verify_schedule(self.jobs(), {"a": Placement(0, 0)}, 1)
+
+    def test_phantom(self):
+        placements = {"a": Placement(0, 0), "b": Placement(0, 1),
+                      "c": Placement(0, 2)}
+        with pytest.raises(ValidationError, match="unknown jobs"):
+            verify_schedule(self.jobs(), placements, 1)
+
+    def test_out_of_window(self):
+        placements = {"a": Placement(0, 4), "b": Placement(0, 1)}
+        with pytest.raises(ValidationError, match="outside window"):
+            verify_schedule(self.jobs(), placements, 1)
+
+    def test_double_booking(self):
+        placements = {"a": Placement(0, 1), "b": Placement(0, 1)}
+        with pytest.raises(ValidationError, match="double-booked"):
+            verify_schedule(self.jobs(), placements, 1)
+
+    def test_bad_machine(self):
+        placements = {"a": Placement(1, 0), "b": Placement(0, 1)}
+        with pytest.raises(ValidationError, match="machine"):
+            verify_schedule(self.jobs(), placements, 1)
+
+    def test_sized_overlap(self):
+        jobs = {"big": Job("big", Window(0, 8), size=4),
+                "u": Job("u", Window(0, 8))}
+        bad = {"big": Placement(0, 0), "u": Placement(0, 2)}
+        with pytest.raises(ValidationError, match="double-booked"):
+            verify_schedule(jobs, bad, 1)
+        good = {"big": Placement(0, 0), "u": Placement(0, 5)}
+        verify_schedule(jobs, good, 1)
+
+    def test_boolean_form(self):
+        assert is_feasible_schedule(self.jobs(), {"a": Placement(0, 2), "b": Placement(0, 0)}, 1)
+        assert not is_feasible_schedule(self.jobs(), {}, 1)
+
+    def test_machine_loads(self):
+        jobs = {"a": Job("a", Window(0, 4)), "b": Job("b", Window(0, 8), size=3)}
+        placements = {"a": Placement(0, 0), "b": Placement(1, 0)}
+        assert machine_loads(jobs, placements, 2) == [1, 3]
+
+    def test_format_schedule_smoke(self):
+        text = format_schedule(self.jobs(), {"a": Placement(0, 2), "b": Placement(0, 0)}, 1)
+        assert "m0:" in text and "slots" in text
+        assert format_schedule({}, {}, 1) == "(empty schedule)"
+
+
+class TestCostAccounting:
+    def test_diff_counts_moves_not_subject(self):
+        before = {"a": Placement(0, 0), "b": Placement(0, 1)}
+        after = {"a": Placement(0, 2), "b": Placement(0, 1), "new": Placement(0, 3)}
+        cost = diff_placements(before, after, kind="insert", subject="new",
+                               n_active=3, max_span=8)
+        assert cost.rescheduled == {"a"}
+        assert cost.migrated == frozenset()
+        assert cost.reallocation_cost == 1 and cost.migration_cost == 0
+
+    def test_diff_detects_migration(self):
+        before = {"a": Placement(0, 0)}
+        after = {"a": Placement(1, 0)}
+        cost = diff_placements(before, after, kind="delete", subject="x",
+                               n_active=1, max_span=2)
+        assert cost.migrated == {"a"}
+        assert cost.rescheduled == {"a"}
+
+    def test_deleted_job_not_counted(self):
+        before = {"a": Placement(0, 0), "gone": Placement(0, 1)}
+        after = {"a": Placement(0, 0)}
+        cost = diff_placements(before, after, kind="delete", subject="gone",
+                               n_active=2, max_span=2)
+        assert cost.reallocation_cost == 0
+
+    def test_ledger_aggregates(self):
+        ledger = CostLedger()
+        for realloc, migr, n in [(0, 0, 1), (3, 1, 2), (1, 0, 3)]:
+            ledger.record(diff_placements(
+                {f"j{i}": Placement(0, i) for i in range(realloc)}
+                | {f"m{i}": Placement(0, 100 + i) for i in range(migr)},
+                {f"j{i}": Placement(0, i + 50) for i in range(realloc)}
+                | {f"m{i}": Placement(1, 100 + i) for i in range(migr)},
+                kind="insert", subject="s", n_active=n, max_span=4,
+            ))
+        assert ledger.total_reallocations == 0 + 4 + 1
+        assert ledger.total_migrations == 1
+        assert ledger.max_reallocation == 4
+        assert ledger.mean_migration == pytest.approx(1 / 3)
+        assert ledger.percentile_reallocation(100) == 4
+        assert ledger.percentile_reallocation(0) == 0
+        summary = ledger.summary()
+        assert summary["requests"] == 3
+        assert summary["max_realloc"] == 4
+
+    def test_ledger_empty(self):
+        ledger = CostLedger()
+        assert ledger.max_reallocation == 0
+        assert ledger.mean_reallocation == 0.0
+        assert ledger.percentile_reallocation(50) == 0
+        assert ledger.worst_requests() == []
+
+    def test_bucket_max_by_n(self):
+        ledger = CostLedger()
+        data = [(1, 0), (2, 1), (3, 2), (4, 1), (7, 5), (8, 0)]
+        for n, realloc in data:
+            before = {f"j{i}": Placement(0, i) for i in range(realloc)}
+            after = {f"j{i}": Placement(0, i + 10) for i in range(realloc)}
+            ledger.record(diff_placements(before, after, kind="insert",
+                                          subject="s", n_active=n, max_span=4))
+        buckets = bucket_max_by_n(ledger.entries)
+        assert buckets[1] == 0
+        assert buckets[2] == 2   # n in [2,4): max(1, 2)
+        assert buckets[4] == 5   # n in [4,8): max(1, 5)
+        assert buckets[8] == 0
+
+    def test_merge_ledgers(self):
+        l1, l2 = CostLedger(), CostLedger()
+        c = diff_placements({}, {}, kind="insert", subject="s", n_active=1, max_span=1)
+        l1.record(c)
+        l2.record(c)
+        l2.record(c)
+        merged = merge_ledgers([l1, l2])
+        assert len(merged) == 3

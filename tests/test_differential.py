@@ -1,0 +1,99 @@
+"""Differential tests: schedulers checked against each other and the oracle.
+
+For any request sequence the exact schedulers accept, every scheduler
+must agree on *feasibility* (they all maintain a feasible schedule or
+all fail); and whenever the offline oracle says the active set is
+feasible, the exact schedulers must have a schedule. These tests drive
+random unaligned churn through the full stack and cross-check.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import EDFRebuildScheduler, MinChangeMatchingScheduler
+from repro.core import Job, Window, verify_schedule
+from repro.core.api import ReservationScheduler
+from repro.feasibility import check_feasible, density_gamma
+
+
+def unaligned_churn(seed, requests=80, horizon=512, slack=6):
+    """Random unaligned sequence kept loosely underallocated via density."""
+    rng = np.random.default_rng(seed)
+    events = []
+    active = {}
+    uid = 0
+    while len(events) < requests:
+        if active and rng.random() < 0.3:
+            job_id = list(active)[int(rng.integers(len(active)))]
+            del active[job_id]
+            events.append(("del", job_id, None))
+            continue
+        span = int(rng.integers(4, horizon // 8))
+        start = int(rng.integers(0, horizon - span))
+        job = Job(f"u{uid}", Window(start, start + span))
+        uid += 1
+        trial = dict(active)
+        trial[job.id] = job
+        if density_gamma(trial, 1) >= slack:
+            active[job.id] = job
+            events.append(("ins", job.id, job))
+    return events
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_all_schedulers_stay_feasible_on_same_stream(seed):
+    events = unaligned_churn(seed)
+    reservation = ReservationScheduler(1, gamma=8)
+    edf = EDFRebuildScheduler(1)
+    for op, job_id, job in events:
+        if op == "ins":
+            reservation.insert(job)
+            edf.insert(job)
+        else:
+            reservation.delete(job_id)
+            edf.delete(job_id)
+        for sched in (reservation, edf):
+            verify_schedule(sched.jobs, sched.placements, 1)
+        # and the oracle agrees the active set is feasible
+        assert check_feasible(dict(reservation.jobs), 1)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_matching_cost_lower_bounds_reservation_per_request(seed):
+    """Per request, min-change matching is by definition <= any other
+    scheduler's cost *for that step from the same configuration*. Across
+    whole runs from their own configurations the totals can order either
+    way, but matching must never be forced above n per request while the
+    reservation stays O(log*)."""
+    events = unaligned_churn(seed, requests=50)
+    matching = MinChangeMatchingScheduler(1)
+    reservation = ReservationScheduler(1, gamma=8, trim=False)
+    for op, job_id, job in events:
+        if op == "ins":
+            cm = matching.insert(job)
+            cr = reservation.insert(job)
+        else:
+            cm = matching.delete(job_id)
+            cr = reservation.delete(job_id)
+        n = max(1, len(matching.jobs))
+        assert cm.reallocation_cost <= n
+        assert cr.reallocation_cost <= 16  # log* constant at this scale
+
+
+def test_reservation_handles_everything_edf_handles_when_slack():
+    """On 8-underallocated streams the reservation scheduler never gives
+    up where the exact scheduler succeeds."""
+    for seed in range(3):
+        events = unaligned_churn(seed, requests=60, slack=8)
+        reservation = ReservationScheduler(1, gamma=8)
+        edf = EDFRebuildScheduler(1)
+        for op, job_id, job in events:
+            if op == "ins":
+                edf.insert(job)       # exact: must succeed (feasible)
+                reservation.insert(job)  # must not raise given slack
+            else:
+                edf.delete(job_id)
+                reservation.delete(job_id)
+        assert set(reservation.jobs) == set(edf.jobs)

@@ -1,0 +1,133 @@
+"""Tests for the elastic-machines extension (Section 7 open question)."""
+
+import pytest
+
+from repro.core import Job, Window, verify_schedule
+from repro.multimachine import ElasticScheduler, balanced_targets
+from repro.reservation import AlignedReservationScheduler
+from repro.workloads import AlignedWorkloadConfig, random_aligned_sequence
+
+
+def make(m=2):
+    return ElasticScheduler(m, lambda: AlignedReservationScheduler())
+
+
+class TestBalancedTargets:
+    def test_even(self):
+        assert balanced_targets(6, 3) == [2, 2, 2]
+
+    def test_extras_leftmost(self):
+        assert balanced_targets(7, 3) == [3, 2, 2]
+        assert balanced_targets(1, 4) == [1, 0, 0, 0]
+        assert balanced_targets(0, 2) == [0, 0]
+
+
+class TestAddMachine:
+    def test_rebalances_single_window(self):
+        s = make(2)
+        for i in range(6):
+            s.insert(Job(i, Window(0, 64)))
+        cost = s.add_machine()
+        assert s.num_machines == 3
+        verify_schedule(s.jobs, s.placements, 3)
+        s.check_balance()
+        # 6 jobs over 3 machines: new machine gets 2 -> 2 migrations.
+        assert cost.migration_cost == 2
+        machines = [s.placements[i].machine for i in range(6)]
+        assert machines.count(2) == 2
+
+    def test_cost_theta_n_over_m(self):
+        """Adding a machine moves ~n/(m+1) jobs — the inherent cost."""
+        s = make(4)
+        n = 40
+        for i in range(n):
+            s.insert(Job(i, Window(0, 1024)))
+        cost = s.add_machine()
+        assert n // 5 - 2 <= cost.migration_cost <= n // 5 + 2
+
+    def test_add_with_many_windows(self):
+        s = make(2)
+        jid = 0
+        for w in (Window(0, 64), Window(64, 128), Window(0, 256)):
+            for _ in range(5):
+                s.insert(Job(jid, w))
+                jid += 1
+        s.add_machine()
+        verify_schedule(s.jobs, s.placements, 3)
+        s.check_balance()
+
+    def test_empty_scheduler(self):
+        s = make(2)
+        cost = s.add_machine()
+        assert cost.reallocation_cost == 0
+        assert s.num_machines == 3
+
+
+class TestRemoveMachine:
+    def test_evicted_jobs_reland(self):
+        s = make(3)
+        for i in range(9):
+            s.insert(Job(i, Window(0, 64)))
+        cost = s.remove_machine(1)
+        assert s.num_machines == 2
+        verify_schedule(s.jobs, s.placements, 2)
+        s.check_balance()
+        # the dropped machine's 3 jobs all migrated
+        assert cost.migration_cost >= 3
+
+    def test_remove_then_operate(self):
+        s = make(3)
+        for i in range(9):
+            s.insert(Job(i, Window(0, 128)))
+        s.remove_machine(0)
+        # normal operations continue correctly afterwards
+        s.insert(Job("new", Window(0, 128)))
+        s.delete(3)
+        verify_schedule(s.jobs, s.placements, 2)
+        s.check_balance()
+        assert s.ledger.max_migration <= max(
+            e.migration_cost for e in s.ledger)
+
+    def test_cannot_remove_last(self):
+        s = make(1)
+        with pytest.raises(ValueError):
+            s.remove_machine(0)
+
+    def test_bad_index(self):
+        s = make(2)
+        with pytest.raises(ValueError):
+            s.remove_machine(5)
+
+
+class TestElasticChurn:
+    def test_mixed_elasticity_and_requests(self):
+        s = make(2)
+        cfg = AlignedWorkloadConfig(
+            num_requests=150, num_machines=2, gamma=16,
+            horizon=1 << 10, max_span=1 << 10, delete_fraction=0.3,
+        )
+        seq = random_aligned_sequence(cfg, seed=7)
+        for i, req in enumerate(seq):
+            s.apply(req)
+            if i == 50:
+                s.add_machine()
+            elif i == 100:
+                s.add_machine()
+            elif i == 120:
+                s.remove_machine(1)
+            verify_schedule(s.jobs, s.placements, s.num_machines)
+            s.check_balance()
+        assert s.num_machines == 3
+
+    def test_insert_delete_costs_unaffected(self):
+        """Elasticity doesn't degrade regular request guarantees."""
+        s = make(2)
+        for i in range(12):
+            s.insert(Job(i, Window(0, 256)))
+        s.add_machine()
+        regular = []
+        for i in range(12, 24):
+            regular.append(s.insert(Job(i, Window(0, 256))).migration_cost)
+        for i in range(6):
+            regular.append(s.delete(i).migration_cost)
+        assert max(regular) <= 1  # the Section 3 guarantee still holds

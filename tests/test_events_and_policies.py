@@ -1,0 +1,126 @@
+"""Coverage for event tracing, custom level policies, and facade variants."""
+
+import pytest
+
+from repro.core import Event, EventTracer, Job, NullTracer, Window, verify_schedule
+from repro.core.api import ReservationScheduler
+from repro.levels import LevelPolicy, make_policy
+from repro.reservation import AlignedReservationScheduler, validate_scheduler
+from repro.workloads import AlignedWorkloadConfig, random_aligned_sequence
+
+
+class TestEventTracer:
+    def test_counts_and_events(self):
+        t = EventTracer()
+        t.emit("place", "a", 1, "slot 3")
+        t.emit("place", "b", 0)
+        t.emit("move", "a", 1)
+        assert t.count("place") == 2
+        assert t.count("move") == 1
+        assert t.count("ghost") == 0
+        assert len(t) == 3
+        assert list(t)[0] == Event("place", "a", 1, "slot 3")
+        assert t.breakdown() == {"move": 1, "place": 2}
+
+    def test_counter_only_mode(self):
+        t = EventTracer(keep_events=False)
+        t.emit("place", "a")
+        assert t.count("place") == 1
+        assert len(t) == 0
+
+    def test_clear(self):
+        t = EventTracer()
+        t.emit("x")
+        t.clear()
+        assert len(t) == 0 and t.breakdown() == {}
+
+    def test_null_tracer(self):
+        t = NullTracer()
+        t.emit("anything", "a", 1)
+        assert t.count("anything") == 0
+        assert t.breakdown() == {}
+
+    def test_scheduler_move_accounting_matches_ledger(self):
+        """Traced moves+displacements >= observed rescheduled jobs."""
+        tracer = EventTracer()
+        s = AlignedReservationScheduler(tracer=tracer)
+        cfg = AlignedWorkloadConfig(num_requests=120, horizon=512,
+                                    max_span=512, gamma=8,
+                                    delete_fraction=0.3)
+        for req in random_aligned_sequence(cfg, seed=2):
+            s.apply(req)
+        traced_moves = sum(
+            tracer.count(a) for a in
+            ("move", "displace-swap", "base-cascade", "displace")
+        )
+        assert traced_moves >= s.ledger.total_reallocations
+
+
+class TestCustomPolicies:
+    def test_alternative_valid_tower(self):
+        # L1=64 -> L2=2^16: satisfies the Equation-1 budget with equality.
+        policy = make_policy(1 << 16, l1=64, shift=4)
+        assert policy.thresholds[:2] == (64, 1 << 16)
+        assert policy.level_of_span(64) == 0
+        assert policy.level_of_span(128) == 1
+        assert policy.level_of_span(1 << 16) == 1
+
+    def test_scheduler_under_alternative_policy(self):
+        policy = make_policy(1 << 16, l1=64, shift=4)
+        s = AlignedReservationScheduler(policy)
+        cfg = AlignedWorkloadConfig(num_requests=150, horizon=1 << 11,
+                                    max_span=1 << 11, gamma=8,
+                                    delete_fraction=0.35)
+        for req in random_aligned_sequence(cfg, seed=4):
+            s.apply(req)
+            validate_scheduler(s)
+            verify_schedule(s.jobs, s.placements, 1)
+
+    def test_costs_comparable_across_policies(self):
+        cfg = AlignedWorkloadConfig(num_requests=200, horizon=1 << 11,
+                                    max_span=1 << 11, gamma=8,
+                                    delete_fraction=0.35)
+        seq = random_aligned_sequence(cfg, seed=5)
+        paper = AlignedReservationScheduler()
+        alt = AlignedReservationScheduler(make_policy(1 << 16, l1=64, shift=4))
+        for req in seq:
+            paper.apply(req)
+            alt.apply(req)
+        assert paper.ledger.max_reallocation <= 12
+        assert alt.ledger.max_reallocation <= 12
+
+    def test_policy_repr_roundtrip_fields(self):
+        p = LevelPolicy((32, 256))
+        assert p.max_span == 256
+        assert p.num_reservation_levels == 1
+        assert p.enclosing_spans(1) == [64, 128, 256]
+
+
+class TestFacadeVariants:
+    def run_churn(self, sched, *, min_span=1, requests=200, seed=6):
+        cfg = AlignedWorkloadConfig(
+            num_requests=requests, num_machines=sched.num_machines,
+            gamma=32, horizon=1 << 11, max_span=1 << 11,
+            min_span=min_span, delete_fraction=0.35,
+        )
+        for req in random_aligned_sequence(cfg, seed=seed):
+            sched.apply(req)
+            verify_schedule(sched.jobs, sched.placements, sched.num_machines)
+        return sched
+
+    def test_deamortized_facade_single_machine(self):
+        sched = self.run_churn(
+            ReservationScheduler(1, gamma=8, deamortized=True), min_span=2)
+        assert sched.ledger.max_reallocation <= 10
+
+    def test_deamortized_facade_multi_machine(self):
+        sched = self.run_churn(
+            ReservationScheduler(2, gamma=8, deamortized=True), min_span=2)
+        assert sched.ledger.max_migration <= 1
+        sched.check_balance()
+
+    def test_deamortized_beats_amortized_worst_case(self):
+        amort = self.run_churn(ReservationScheduler(1, gamma=8), min_span=2)
+        deam = self.run_churn(
+            ReservationScheduler(1, gamma=8, deamortized=True), min_span=2)
+        assert deam.ledger.max_reallocation <= amort.ledger.max_reallocation

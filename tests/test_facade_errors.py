@@ -1,0 +1,89 @@
+"""Error-path and contract tests for the public facade and base class."""
+
+import pytest
+
+from repro.core import (
+    InvalidRequestError,
+    Job,
+    RequestCost,
+    Window,
+)
+from repro.core.api import ReservationScheduler
+from repro.core.base import ReallocatingScheduler
+from repro.core.requests import DeleteJob, InsertJob
+
+
+class TestFacadeContracts:
+    def test_duplicate_insert_rejected(self):
+        s = ReservationScheduler(1)
+        s.insert(Job("a", Window(0, 8)))
+        with pytest.raises(InvalidRequestError):
+            s.insert(Job("a", Window(0, 16)))
+        # original job untouched
+        assert s.jobs["a"].window == Window(0, 8)
+
+    def test_delete_unknown_rejected(self):
+        s = ReservationScheduler(1)
+        with pytest.raises(InvalidRequestError):
+            s.delete("ghost")
+
+    def test_failed_insert_rolls_back_job_registry(self):
+        s = ReservationScheduler(1)
+        with pytest.raises(Exception):
+            s.insert(Job("bad", Window(0, 4), size=2))  # unit jobs only
+        assert "bad" not in s.jobs
+        # scheduler still usable
+        s.insert(Job("ok", Window(0, 4)))
+
+    def test_apply_dispatch(self):
+        s = ReservationScheduler(1)
+        c1 = s.apply(InsertJob(Job("a", Window(0, 8))))
+        c2 = s.apply(DeleteJob("a"))
+        assert isinstance(c1, RequestCost) and isinstance(c2, RequestCost)
+        assert c1.kind == "insert" and c2.kind == "delete"
+        with pytest.raises(InvalidRequestError):
+            s.apply("nonsense")
+
+    def test_cost_metadata(self):
+        s = ReservationScheduler(2)
+        cost = s.insert(Job("a", Window(0, 8)))
+        assert cost.subject == "a"
+        assert cost.n_active == 1
+        assert cost.max_span == 8
+
+    def test_snapshot_is_copy(self):
+        s = ReservationScheduler(1)
+        s.insert(Job("a", Window(0, 8)))
+        snap = s.snapshot()
+        s.delete("a")
+        assert "a" in snap and "a" not in s.placements
+
+    def test_num_machines_validated(self):
+        with pytest.raises(ValueError):
+            ReservationScheduler(0)
+
+    def test_repr(self):
+        s = ReservationScheduler(3)
+        assert "m=3" in repr(s)
+
+    def test_n_active_property(self):
+        s = ReservationScheduler(1)
+        assert s.n_active == 0
+        s.insert(Job("a", Window(0, 8)))
+        assert s.n_active == 1
+
+
+class TestBaseClassGuards:
+    def test_abstract(self):
+        with pytest.raises(TypeError):
+            ReallocatingScheduler(1)
+
+    def test_ledger_accumulates_across_requests(self):
+        s = ReservationScheduler(1)
+        for i in range(5):
+            s.insert(Job(i, Window(0, 32)))
+        for i in range(5):
+            s.delete(i)
+        assert len(s.ledger) == 10
+        kinds = [e.kind for e in s.ledger]
+        assert kinds == ["insert"] * 5 + ["delete"] * 5

@@ -1,0 +1,274 @@
+"""Tests for the offline feasibility substrate (matching, EDF, density)."""
+
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Job, Window
+from repro.feasibility import (
+    HopcroftKarp,
+    LaminarLoadTree,
+    check_feasible,
+    check_gamma_underallocated,
+    coarse_grid_jobs,
+    density_gamma,
+    feasible_assignment,
+    greedy_edf_feasible,
+    interval_density_bound,
+    max_matching_size,
+    offline_schedule,
+    underallocation_factor,
+)
+
+
+def jobs_dict(*specs):
+    """specs: (id, release, deadline)"""
+    return {s[0]: Job(s[0], Window(s[1], s[2])) for s in specs}
+
+
+class TestHopcroftKarp:
+    def test_trivial(self):
+        hk = HopcroftKarp({"a": [1], "b": [2]})
+        m = hk.match()
+        assert m == {"a": 1, "b": 2}
+
+    def test_contention(self):
+        hk = HopcroftKarp({"a": [1], "b": [1]})
+        hk.match()
+        assert hk.size == 1
+
+    def test_augmenting_path_needed(self):
+        # a prefers 1, but must cede it to b via augmentation.
+        hk = HopcroftKarp({"a": [1, 2], "b": [1]})
+        m = hk.match()
+        assert len(m) == 2
+        assert m["b"] == 1 and m["a"] == 2
+
+    def test_empty(self):
+        assert HopcroftKarp({}).match() == {}
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 9), st.integers(1, 6)),
+        min_size=0, max_size=25,
+    ))
+    def test_against_networkx(self, edges_spec):
+        """HK matching size equals networkx's on random bipartite graphs."""
+        adjacency = {}
+        graph = nx.Graph()
+        lefts = set()
+        for i, (start, width) in enumerate(edges_spec):
+            left = ("L", i)
+            rights = [("R", r) for r in range(start, start + width)]
+            adjacency[left] = rights
+            lefts.add(left)
+            graph.add_node(left)
+            for r in rights:
+                graph.add_edge(left, r)
+        hk = HopcroftKarp(adjacency)
+        hk.match()
+        nx_matching = nx.bipartite.maximum_matching(graph, top_nodes=lefts) if graph.edges else {}
+        assert hk.size == len(nx_matching) // 2
+
+
+class TestFeasibility:
+    def test_empty_feasible(self):
+        assert check_feasible({}, 1)
+
+    def test_simple_feasible(self):
+        jobs = jobs_dict(("a", 0, 2), ("b", 0, 2))
+        assert check_feasible(jobs, 1, audit=True)
+
+    def test_simple_infeasible(self):
+        jobs = jobs_dict(("a", 0, 1), ("b", 0, 1))
+        assert not check_feasible(jobs, 1, audit=True)
+        assert check_feasible(jobs, 2, audit=True)
+
+    def test_pigeonhole(self):
+        # 5 jobs into a 4-slot window.
+        jobs = jobs_dict(*[(f"j{i}", 0, 4) for i in range(5)])
+        assert not check_feasible(jobs, 1, audit=True)
+
+    def test_staircase(self):
+        # Lemma 12's staircase is feasible (tightly).
+        jobs = jobs_dict(*[(f"j{i}", i, i + 2) for i in range(10)])
+        assert check_feasible(jobs, 1, audit=True)
+
+    def test_interleaved_multi_machine(self):
+        jobs = jobs_dict(*[(f"j{i}", 0, 3) for i in range(6)])
+        assert check_feasible(jobs, 2, audit=True)
+        jobs["extra"] = Job("extra", Window(0, 3))
+        assert not check_feasible(jobs, 2, audit=True)
+
+    def test_feasible_assignment_valid(self):
+        jobs = jobs_dict(("a", 0, 2), ("b", 0, 2), ("c", 1, 3), ("d", 2, 4))
+        assignment = feasible_assignment(jobs, 2)
+        assert assignment is not None
+        used = set()
+        for job_id, (machine, slot) in assignment.items():
+            assert slot in jobs[job_id].window
+            assert 0 <= machine < 2
+            assert (machine, slot) not in used
+            used.add((machine, slot))
+
+    def test_feasible_assignment_none_when_infeasible(self):
+        jobs = jobs_dict(("a", 0, 1), ("b", 0, 1))
+        assert feasible_assignment(jobs, 1) is None
+
+    def test_offline_schedule_alias(self):
+        jobs = jobs_dict(("a", 0, 2))
+        assert offline_schedule(jobs, 1) is not None
+
+    def test_max_matching_size(self):
+        jobs = jobs_dict(("a", 0, 1), ("b", 0, 1), ("c", 0, 1))
+        assert max_matching_size(jobs, 2) == 2
+
+    def test_sized_jobs_rejected(self):
+        jobs = {"a": Job("a", Window(0, 4), size=2)}
+        with pytest.raises(ValueError):
+            check_feasible(jobs, 1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 20), st.integers(1, 8)),
+        min_size=1, max_size=30,
+    ), st.integers(1, 3))
+    def test_edf_agrees_with_matching(self, specs, m):
+        jobs = {i: Job(i, Window(r, r + s)) for i, (r, s) in enumerate(specs)}
+        edf = greedy_edf_feasible(jobs.values(), m)
+        matching = max_matching_size(jobs, m) == len(jobs)
+        assert edf == matching
+
+
+class TestDensity:
+    def test_empty(self):
+        assert interval_density_bound([], 1) == 0
+        assert underallocation_factor([], 1) > 10**8
+
+    def test_full_window(self):
+        jobs = [Job(i, Window(0, 4)) for i in range(4)]
+        assert interval_density_bound(jobs, 1) == 1
+        assert underallocation_factor(jobs, 1) == 1
+
+    def test_half_full(self):
+        jobs = [Job(i, Window(0, 8)) for i in range(2)]
+        assert interval_density_bound(jobs, 1) == Fraction(1, 4)
+        assert underallocation_factor(jobs, 1) == 4
+
+    def test_multi_machine(self):
+        jobs = [Job(i, Window(0, 4)) for i in range(4)]
+        assert underallocation_factor(jobs, 2) == 2
+
+    def test_nested_windows_detected(self):
+        # A dense inner window inside a sparse outer one.
+        jobs = [Job("outer", Window(0, 64))] + [Job(i, Window(8, 12)) for i in range(4)]
+        assert interval_density_bound(jobs, 1) == 1
+
+    def test_density_gamma_api(self):
+        jobs = {j.id: j for j in (Job(i, Window(0, 16)) for i in range(2))}
+        assert density_gamma(jobs, 1) == 8
+
+
+class TestGammaUnderallocation:
+    def test_empty(self):
+        assert check_gamma_underallocated({}, 1, 8)
+
+    def test_gamma_one_is_feasibility(self):
+        jobs = jobs_dict(("a", 0, 2), ("b", 0, 2))
+        assert check_gamma_underallocated(jobs, 1, 1)
+        jobs2 = jobs_dict(("a", 0, 1), ("b", 0, 1))
+        assert not check_gamma_underallocated(jobs2, 1, 1)
+
+    def test_scaling(self):
+        # 2 jobs in a span-16 aligned window: fits gamma = 8 (coarse grid
+        # has 2 coarse slots), fails gamma = 16 (1 coarse slot).
+        jobs = jobs_dict(("a", 0, 16), ("b", 0, 16))
+        assert check_gamma_underallocated(jobs, 1, 8)
+        assert not check_gamma_underallocated(jobs, 1, 16)
+
+    def test_narrow_window_fails_large_gamma(self):
+        jobs = jobs_dict(("a", 3, 5))  # span 2; no multiple-of-4 slot inside
+        assert not check_gamma_underallocated(jobs, 1, 4)
+
+    def test_coarse_grid_jobs(self):
+        jobs = jobs_dict(("a", 0, 16))
+        coarse = coarse_grid_jobs(jobs, 4)
+        assert coarse["a"].window == Window(0, 4)
+        jobs2 = jobs_dict(("b", 1, 16))
+        assert coarse_grid_jobs(jobs2, 4)["b"].window == Window(1, 4)
+
+    def test_coarse_grid_rejects_too_narrow(self):
+        with pytest.raises(ValueError):
+            coarse_grid_jobs(jobs_dict(("a", 3, 5)), 4)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            check_gamma_underallocated({}, 1, 0)
+
+    def test_implication_chain(self):
+        # coarse-grid gamma-underallocated implies density holds at gamma.
+        jobs = jobs_dict(*[(f"j{i}", 0, 64) for i in range(4)])
+        for gamma in (1, 2, 4, 8, 16):
+            if check_gamma_underallocated(jobs, 1, gamma):
+                assert density_gamma(jobs, 1) >= gamma
+
+
+class TestLaminarLoadTree:
+    def test_add_remove(self):
+        tree = LaminarLoadTree(16)
+        tree.add("a", Window(0, 4))
+        tree.add("b", Window(0, 8))
+        assert tree.load(Window(0, 4)) == 1
+        assert tree.load(Window(0, 8)) == 2
+        assert tree.load(Window(0, 16)) == 2
+        tree.remove("a")
+        assert tree.load(Window(0, 4)) == 0
+        assert tree.load(Window(0, 8)) == 1
+        assert len(tree) == 1
+
+    def test_rejects_unaligned(self):
+        tree = LaminarLoadTree(16)
+        with pytest.raises(ValueError):
+            tree.add("a", Window(1, 3))
+
+    def test_rejects_duplicate(self):
+        tree = LaminarLoadTree(16)
+        tree.add("a", Window(0, 4))
+        with pytest.raises(ValueError):
+            tree.add("a", Window(0, 4))
+
+    def test_would_fit(self):
+        tree = LaminarLoadTree(8)
+        # gamma=2, m=1: window [0,4) holds at most 2 jobs.
+        assert tree.would_fit(Window(0, 4), 1, 2)
+        tree.add("a", Window(0, 4))
+        assert tree.would_fit(Window(0, 4), 1, 2)
+        tree.add("b", Window(0, 4))
+        assert not tree.would_fit(Window(0, 4), 1, 2)
+        # ancestor budget: [0,8) allows 4 jobs at gamma=2; nested load counts.
+        assert tree.would_fit(Window(4, 8), 1, 2)
+
+    def test_max_density(self):
+        tree = LaminarLoadTree(8)
+        tree.add("a", Window(0, 2))
+        tree.add("b", Window(0, 2))
+        assert tree.max_density(1) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 3)), max_size=30))
+    def test_verify_against_recount(self, specs):
+        tree = LaminarLoadTree(64)
+        jobs = {}
+        for i, (idx, log_span) in enumerate(specs):
+            span = 1 << log_span
+            w = Window(idx * span, (idx + 1) * span)
+            tree.add(i, w)
+            jobs[i] = Job(i, w)
+        assert tree.verify_against(jobs)
+        # remove half, recheck
+        for i in list(jobs)[::2]:
+            tree.remove(i)
+            del jobs[i]
+        assert tree.verify_against(jobs)

@@ -1,0 +1,170 @@
+"""Tests for the level/interval decomposition policy and log* helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.logstar import (
+    iter_tower_sequence,
+    log_star,
+    paper_level_count,
+    paper_thresholds,
+    tower,
+)
+from repro.core.window import Window
+from repro.levels import PAPER_POLICY, LevelPolicy, make_policy
+
+
+class TestLogStar:
+    def test_anchors(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2.0 ** 65536 if False else 1e300) <= 5
+
+    def test_monotone(self):
+        values = [log_star(x) for x in [1, 2, 3, 4, 10, 100, 10**6, 10**30]]
+        assert values == sorted(values)
+
+    def test_tower(self):
+        assert tower(0) == 1
+        assert tower(1) == 2
+        assert tower(2) == 4
+        assert tower(3) == 16
+        assert tower(4) == 65536
+
+    def test_tower_logstar_inverse(self):
+        for h in range(1, 5):
+            assert log_star(tower(h)) == h
+
+    def test_tower_negative(self):
+        with pytest.raises(ValueError):
+            tower(-1)
+
+
+class TestPaperThresholds:
+    def test_sequence(self):
+        assert paper_thresholds(32) == [32]
+        assert paper_thresholds(33) == [32, 256]
+        assert paper_thresholds(256) == [32, 256]
+        assert paper_thresholds(257) == [32, 256, 1 << 64]
+
+    def test_level_count(self):
+        assert paper_level_count(16) == 0
+        assert paper_level_count(32) == 0
+        assert paper_level_count(64) == 1
+        assert paper_level_count(256) == 1
+        assert paper_level_count(1024) == 2
+        assert paper_level_count(1 << 30) == 2
+
+    def test_iter_tower(self):
+        gen = iter_tower_sequence(32, 4)
+        assert [next(gen) for _ in range(3)] == [32, 256, 1 << 64]
+
+
+class TestLevelPolicy:
+    def test_paper_policy_shape(self):
+        assert PAPER_POLICY.thresholds[0] == 32
+        assert PAPER_POLICY.thresholds[1] == 256
+        assert PAPER_POLICY.thresholds[2] == 1 << 64
+        assert PAPER_POLICY.base_threshold == 32
+
+    def test_level_of_span(self):
+        p = PAPER_POLICY
+        assert p.level_of_span(1) == 0
+        assert p.level_of_span(32) == 0
+        assert p.level_of_span(64) == 1
+        assert p.level_of_span(256) == 1
+        assert p.level_of_span(512) == 2
+        assert p.level_of_span(1 << 20) == 2
+
+    def test_level_of_span_out_of_range(self):
+        with pytest.raises(ValueError):
+            PAPER_POLICY.level_of_span((1 << 64) * 2)
+        with pytest.raises(ValueError):
+            PAPER_POLICY.level_of_span(0)
+
+    def test_interval_span(self):
+        assert PAPER_POLICY.interval_span(1) == 32
+        assert PAPER_POLICY.interval_span(2) == 256
+        with pytest.raises(ValueError):
+            PAPER_POLICY.interval_span(0)
+        with pytest.raises(ValueError):
+            PAPER_POLICY.interval_span(3)
+
+    def test_level_span_range(self):
+        assert PAPER_POLICY.level_span_range(0) == (1, 32)
+        assert PAPER_POLICY.level_span_range(1) == (64, 256)
+        assert PAPER_POLICY.level_span_range(2) == (512, 1 << 64)
+
+    def test_interval_geometry(self):
+        p = PAPER_POLICY
+        assert p.interval_index(1, 0) == 0
+        assert p.interval_index(1, 31) == 0
+        assert p.interval_index(1, 32) == 1
+        assert p.interval_window(1, 3) == Window(96, 128)
+
+    def test_intervals_of_window(self):
+        p = PAPER_POLICY
+        w = Window(0, 128)  # level-1 window, 4 intervals
+        assert list(p.intervals_of_window(1, w)) == [0, 1, 2, 3]
+        with pytest.raises(ValueError):
+            p.intervals_of_window(1, Window(16, 144))
+
+    def test_enclosing_spans_equation1(self):
+        # Equation 1: number of distinct level-l spans <= L_l / 4.
+        p = PAPER_POLICY
+        for level in (1, 2):
+            spans = p.enclosing_spans(level)
+            assert len(spans) <= p.interval_span(level) // 4
+            lo, hi = p.level_span_range(level)
+            assert spans[0] == lo and spans[-1] == hi
+            for a, b in zip(spans, spans[1:]):
+                assert b == 2 * a
+
+    def test_levels_above(self):
+        assert list(PAPER_POLICY.levels_above(0)) == [1, 2]
+        assert list(PAPER_POLICY.levels_above(1)) == [2]
+        assert list(PAPER_POLICY.levels_above(2)) == []
+
+    def test_required_levels(self):
+        p = PAPER_POLICY
+        assert p.required_levels(16) == 0
+        assert p.required_levels(64) == 1
+        assert p.required_levels(4096) == 2
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            LevelPolicy((31,))
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            LevelPolicy((32, 32))
+
+    def test_rejects_equation1_violation(self):
+        # L=8 followed by 2**64 would need 8 >= 4*64.
+        with pytest.raises(ValueError):
+            LevelPolicy((8, 1 << 64))
+
+    def test_make_policy_cached_and_custom(self):
+        p1 = make_policy(1 << 20)
+        p2 = make_policy(1 << 20)
+        assert p1 is p2
+        with pytest.raises(ValueError):
+            make_policy(1 << 20, l1=16, shift=4)  # 2**4 = 16 does not grow
+
+    @given(st.integers(1, 1 << 40))
+    def test_level_monotone_in_span(self, span):
+        p = PAPER_POLICY
+        level = p.level_of_span(span)
+        assert 0 <= level <= 2
+        if span > 1:
+            assert p.level_of_span(span - 1) <= level
+
+    @given(st.integers(0, 10**7))
+    def test_slot_in_its_interval(self, slot):
+        p = PAPER_POLICY
+        for level in (1, 2):
+            idx = p.interval_index(level, slot)
+            assert slot in p.interval_window(level, idx)

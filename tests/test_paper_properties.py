@@ -1,0 +1,135 @@
+"""Property-based tests tying the implementation to the paper's lemmas.
+
+Each test class encodes one formal statement and checks it on generated
+instances — these are the reproduction's 'proof by testing' layer.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alignment import align_jobs
+from repro.core import Job, Window
+from repro.core.costs import RequestCost
+from repro.feasibility import (
+    LaminarLoadTree,
+    check_feasible,
+    check_gamma_underallocated,
+    underallocation_factor,
+)
+from repro.sim.driver import max_cost_series, RunResult
+from repro.core.costs import CostLedger, diff_placements
+from repro.core.job import Placement
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+def laminar_jobs(max_log_span=6, horizon_log=8, max_jobs=40):
+    """Aligned jobs within a 2**horizon_log horizon."""
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(0, max_jobs))
+        jobs = {}
+        for i in range(n):
+            log_span = draw(st.integers(0, max_log_span))
+            span = 1 << log_span
+            idx = draw(st.integers(0, (1 << horizon_log) // span - 1))
+            jobs[i] = Job(i, Window(idx * span, (idx + 1) * span))
+        return jobs
+    return build()
+
+
+class TestLemma2Density:
+    """Lemma 2 and its converse for recursively aligned instances:
+    density condition at gamma=1  <=>  feasibility."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(laminar_jobs(), st.integers(1, 3))
+    def test_density_iff_feasible_laminar(self, jobs, m):
+        density_ok = all(
+            sum(1 for j in jobs.values() if w.contains_window(j.window))
+            <= m * w.span
+            for w in {j.window for j in jobs.values()}
+            for w in [w]  # windows of the instance suffice for laminar
+        )
+        # Full density check over all aligned windows via the factor:
+        factor = underallocation_factor(jobs.values(), m)
+        feasible = check_feasible(jobs, m)
+        assert (factor >= 1) == feasible
+        if density_ok is False:
+            assert not feasible
+
+    @settings(max_examples=40, deadline=None)
+    @given(laminar_jobs(max_jobs=25), st.integers(1, 2), st.integers(1, 4))
+    def test_coarse_certificate_implies_density(self, jobs, m, gamma):
+        if check_gamma_underallocated(jobs, m, gamma):
+            assert underallocation_factor(jobs.values(), m) >= gamma
+
+
+class TestLemma10Alignment:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 200), st.integers(1, 64)),
+        min_size=1, max_size=20,
+    ), st.integers(1, 2))
+    def test_alignment_keeps_quarter_slack(self, specs, m):
+        jobs = {i: Job(i, Window(r, r + s)) for i, (r, s) in enumerate(specs)}
+        before = underallocation_factor(jobs.values(), m)
+        after = underallocation_factor(align_jobs(jobs).values(), m)
+        assert after * 4 >= before
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 500), st.integers(1, 300))
+    def test_aligned_core_nests(self, release, span):
+        w = Window(release, release + span)
+        a = w.aligned_within()
+        assert w.contains_window(a) and a.is_aligned
+
+
+class TestLoadTreeMatchesBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(laminar_jobs(max_log_span=4, horizon_log=6, max_jobs=20),
+           st.integers(1, 2), st.integers(1, 8))
+    def test_would_fit_agrees_with_recount(self, jobs, m, gamma):
+        tree = LaminarLoadTree(1 << 6)
+        for job_id, job in jobs.items():
+            tree.add(job_id, job.window)
+        probe = Window(0, 4)
+        # brute force the Lemma 2 condition for probe + ancestors
+        def brute(w):
+            load = sum(1 for j in jobs.values() if w.contains_window(j.window))
+            return gamma * (load + 1) <= m * w.span
+        expected = all(brute(w) for w in
+                       [probe, *probe.aligned_ancestors(1 << 6)])
+        assert tree.would_fit(probe, m, gamma) == expected
+
+
+class TestCostModelProperties:
+    def test_max_cost_series(self):
+        ledger = CostLedger()
+        ledger.record(diff_placements(
+            {"a": Placement(0, 0)}, {"a": Placement(0, 1)},
+            kind="insert", subject="x", n_active=1, max_span=2))
+        r = RunResult("s", ledger, 1, 0.1)
+        series = max_cost_series([r])
+        assert series == [("s", 1)]
+
+    def test_cost_vs_n_series(self):
+        ledger = CostLedger()
+        for n in (1, 2, 3):
+            ledger.record(diff_placements({}, {}, kind="insert",
+                                          subject="x", n_active=n, max_span=2))
+        assert ledger.cost_vs_n() == [(1, 0), (2, 0), (3, 0)]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.dictionaries(st.text(min_size=1, max_size=3),
+                           st.tuples(st.integers(0, 3), st.integers(0, 50)),
+                           max_size=10))
+    def test_diff_is_antisymmetric_in_identity(self, placements):
+        pls = {k: Placement(m, s) for k, (m, s) in placements.items()}
+        cost = diff_placements(pls, pls, kind="insert", subject="q",
+                               n_active=len(pls), max_span=4)
+        assert cost.reallocation_cost == 0
+        assert cost.migration_cost == 0

@@ -1,0 +1,132 @@
+"""Model-based stateful testing of the reservation scheduler.
+
+Hypothesis drives random insert/delete sequences (kept within the
+gamma=8 density budget via the laminar load tree, so the scheduler's
+precondition always holds) against the full invariant validator and the
+feasibility verifier after every step. Any reachable bookkeeping drift
+or feasibility violation shows up as a minimized failing command
+sequence.
+
+A second machine does the same for the deamortized wrapper (budget
+gamma=16, spans >= 2), and a third for the multi-machine facade.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.core import Job, Window, verify_schedule
+from repro.core.api import ReservationScheduler
+from repro.feasibility import LaminarLoadTree
+from repro.reservation import (
+    AlignedReservationScheduler,
+    DeamortizedReservationScheduler,
+    validate_scheduler,
+)
+
+HORIZON = 1 << 10
+
+
+class ReservationMachine(RuleBasedStateMachine):
+    """Aligned single-machine scheduler under gamma=8 budgeted churn."""
+
+    GAMMA = 8
+    MIN_LOG_SPAN = 0
+
+    def __init__(self):
+        super().__init__()
+        self.sched = self.make_scheduler()
+        self.tree = LaminarLoadTree(HORIZON)
+        self.active: list[str] = []
+        self.uid = 0
+
+    def make_scheduler(self):
+        return AlignedReservationScheduler()
+
+    def check(self):
+        validate_scheduler(self.sched)
+
+    @rule(log_span=st.integers(0, 10), pos=st.integers(0, HORIZON))
+    def insert(self, log_span, pos):
+        log_span = max(log_span, self.MIN_LOG_SPAN)
+        span = 1 << log_span
+        start = (pos % max(1, HORIZON // span)) * span
+        w = Window(start, start + span)
+        if not self.tree.would_fit(w, 1, self.GAMMA):
+            return  # stay within the scheduler's precondition
+        job_id = f"j{self.uid}"
+        self.uid += 1
+        self.tree.add(job_id, w)
+        self.active.append(job_id)
+        self.sched.insert(Job(job_id, w))
+
+    @precondition(lambda self: self.active)
+    @rule(idx=st.integers(0, 10**6))
+    def delete(self, idx):
+        job_id = self.active.pop(idx % len(self.active))
+        self.tree.remove(job_id)
+        self.sched.delete(job_id)
+
+    @invariant()
+    def schedule_feasible(self):
+        verify_schedule(self.sched.jobs, self.sched.placements,
+                        self.sched.num_machines)
+
+    @invariant()
+    def internals_consistent(self):
+        self.check()
+
+    @invariant()
+    def costs_bounded(self):
+        # log* bound with generous constant: never move more than 16
+        # jobs in one request at this scale.
+        assert self.sched.ledger.max_reallocation <= 16
+
+
+class DeamortizedMachine(ReservationMachine):
+    """The deamortized wrapper needs 2*gamma slack and spans >= 2."""
+
+    GAMMA = 16
+    MIN_LOG_SPAN = 1
+
+    def make_scheduler(self):
+        return DeamortizedReservationScheduler(gamma=8)
+
+    def check(self):
+        validate_scheduler(self.sched.active)
+        if self.sched.incoming is not None:
+            validate_scheduler(self.sched.incoming)
+
+
+class FacadeMachine(ReservationMachine):
+    """Full Theorem 1 facade on 2 machines; unaligned-capable."""
+
+    GAMMA = 32  # generous budget: facade stacks alignment + delegation
+
+    def make_scheduler(self):
+        return ReservationScheduler(num_machines=2, gamma=8)
+
+    def check(self):
+        self.sched.check_balance()
+
+    @invariant()
+    def migration_bound(self):
+        assert self.sched.ledger.max_migration <= 1
+
+
+TestReservationStateful = ReservationMachine.TestCase
+TestReservationStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)
+
+TestDeamortizedStateful = DeamortizedMachine.TestCase
+TestDeamortizedStateful.settings = settings(
+    max_examples=15, stateful_step_count=40, deadline=None)
+
+TestFacadeStateful = FacadeMachine.TestCase
+TestFacadeStateful.settings = settings(
+    max_examples=15, stateful_step_count=40, deadline=None)
