@@ -6,6 +6,11 @@ the timed region)? The reservation scheduler does O(poly(L_l)) local
 work per request; the rebuild baselines pay O(n log n) (EDF/LLF) or
 O(n^3) (matching) per request, so their throughput collapses as n
 grows. pytest-benchmark provides the timing statistics.
+
+Throughput is reported from ``RunResult.scheduler_time_s`` — the time
+spent inside ``scheduler.apply`` only. Earlier revisions divided by the
+whole loop wall time, which silently charged the driver's audit hooks
+to the scheduler.
 """
 
 from __future__ import annotations
@@ -48,23 +53,22 @@ FACTORIES = {
 @pytest.mark.parametrize("name", list(FACTORIES))
 def test_e10_throughput(benchmark, name):
     factory, seq = FACTORIES[name]
+    sched_times = []
 
     def kernel():
-        run_sequence(factory(), seq, verify_each=False)
+        result = run_sequence(factory(), seq, verify_each=False)
+        sched_times.append(result.scheduler_time_s)
 
     benchmark.pedantic(kernel, rounds=3, iterations=1)
     benchmark.extra_info["requests"] = len(seq)
-    benchmark.extra_info["requests_per_second"] = (
-        len(seq) / benchmark.stats.stats.mean
-    )
+    # honest per-request cost: scheduler.apply time only, best of rounds
+    benchmark.extra_info["requests_per_second"] = len(seq) / min(sched_times)
 
 
 def test_e10b_scaling_crossover(benchmark, record_result):
     """EDF's per-request time grows with n (it rebuilds the whole
     schedule); the reservation scheduler's per-request time does not.
     This measures the scaling direction behind the crossover claim."""
-    import time
-
     from repro.sim.report import experiment_header, format_series
 
     def per_request_us(factory, n_target, seed):
@@ -74,10 +78,8 @@ def test_e10b_scaling_crossover(benchmark, record_result):
             max_span=horizon, delete_fraction=0.25,
         )
         seq = random_aligned_sequence(cfg, seed=seed)
-        sched = factory()
-        t0 = time.perf_counter()
-        run_sequence(sched, seq, verify_each=False)
-        return 1e6 * (time.perf_counter() - t0) / len(seq)
+        result = run_sequence(factory(), seq, verify_each=False)
+        return 1e6 * result.scheduler_time_s / len(seq)
 
     ns = [64, 256, 1024]
     edf_us, res_us = [], []
@@ -105,3 +107,46 @@ def test_e10b_scaling_crossover(benchmark, record_result):
     record_result("e10b_scaling", table)
     # EDF's per-request time grows markedly faster than reservation's.
     assert edf_growth > 3 * res_growth
+
+
+def test_e10c_fastpath_10k(benchmark, record_result):
+    """The indexed fast path on the 10k-request scenario-scale workload.
+
+    Reports scheduler-only requests/second with verification off, plus
+    the verified-mode ratio: incremental verification must keep a
+    verified run within 2x of the unverified wall time (it replaced the
+    O(n)-per-request full audit).
+    """
+    from repro.sim.report import experiment_header, format_table
+
+    seq = make_sequence(num_requests=10_000, seed=0)
+
+    results = {}
+
+    def kernel():
+        results["off"] = run_sequence(
+            AlignedReservationScheduler(), seq, verify_each=False)
+        results["incremental"] = run_sequence(
+            AlignedReservationScheduler(), seq, verify_each=True)
+
+    benchmark.pedantic(kernel, rounds=1, iterations=1)
+    off, inc = results["off"], results["incremental"]
+    ratio = inc.wall_time_s / off.wall_time_s
+    rows = [
+        ["verify off", round(off.requests_per_second),
+         round(off.scheduler_time_s, 3), round(off.audit_time_s, 3)],
+        ["incremental", round(inc.requests_per_second),
+         round(inc.scheduler_time_s, 3), round(inc.audit_time_s, 3)],
+    ]
+    table = format_table(
+        ["mode", "req/s (sched)", "sched_s", "audit_s"], rows,
+        title=experiment_header(
+            "E10c", "fast-path engine on 10k requests: scheduler-only "
+            f"throughput; verified/unverified wall ratio {ratio:.2f}x",
+        ),
+    )
+    record_result("e10c_fastpath_10k", table)
+    benchmark.extra_info["requests_per_second"] = off.requests_per_second
+    benchmark.extra_info["verified_ratio"] = ratio
+    # Incremental verification keeps verified runs within 2x unverified.
+    assert ratio < 2.0

@@ -6,6 +6,10 @@ Commands
   scheduler and print the cost table (sanity check of an install).
 - ``compare`` — head-to-head cost comparison of all schedulers on a
   generated workload (``--requests``, ``--machines``, ``--seed``).
+- ``engine`` — run one scenario at scale through the batch engine with
+  phase-split timing, incremental verification, and checkpoints.
+- ``sweep`` — run every (scenario x scheduler) cell through the engine
+  and print the comparison table.
 - ``generate`` — emit a workload as JSON (replayable with ``replay``).
 - ``replay`` — run a JSON request trace through a chosen scheduler,
   verifying feasibility after every request.
@@ -32,8 +36,15 @@ from .baselines import (
 )
 from .core.api import ReservationScheduler
 from .core.requests import RequestSequence
-from .sim import format_table, run_comparison, run_sequence
-from .workloads import AlignedWorkloadConfig, random_aligned_sequence
+from .sim import (
+    format_table,
+    run_comparison,
+    run_engine,
+    run_sequence,
+    run_sweep,
+    sweep_table,
+)
+from .workloads import SCENARIOS, AlignedWorkloadConfig, random_aligned_sequence
 
 SCHEDULERS = {
     "reservation": lambda m: ReservationScheduler(m, gamma=8),
@@ -97,6 +108,64 @@ def cmd_compare(args) -> int:
               f"gamma={args.gamma}, seed={args.seed}",
     ))
     return 0
+
+
+def cmd_engine(args) -> int:
+    if args.scenario not in SCENARIOS:
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r}; choices: {sorted(SCENARIOS)}")
+    if args.scheduler not in SCHEDULERS:
+        raise SystemExit(
+            f"unknown scheduler {args.scheduler!r}; choices: {sorted(SCHEDULERS)}")
+    seq = SCENARIOS[args.scenario](args.requests, args.seed, args.machines)
+    sched = SCHEDULERS[args.scheduler](args.machines)
+
+    def progress(cp):
+        print(f"  [{args.scenario}] {cp.processed} requests, "
+              f"{cp.requests_per_second:.0f} req/s "
+              f"(sched {cp.scheduler_time_s:.2f}s, verify {cp.verify_time_s:.2f}s, "
+              f"validate {cp.validate_time_s:.2f}s)", file=sys.stderr)
+
+    result = run_engine(
+        sched, seq,
+        verify=args.verify,
+        checkpoint_every=args.checkpoint_every,
+        on_checkpoint=progress if args.checkpoint_every else None,
+        name=f"{args.scenario}/{args.scheduler}",
+    )
+    rows = [[k, v] for k, v in result.summary.items()]
+    print(format_table(["metric", "value"], rows,
+                       title=f"engine: {args.scenario} x {args.scheduler}, "
+                             f"{len(seq)} requests"))
+    return 1 if result.failed else 0
+
+
+def cmd_sweep(args) -> int:
+    scen_names = args.scenarios.split(",") if args.scenarios else sorted(SCENARIOS)
+    sched_names = args.schedulers.split(",") if args.schedulers else ["reservation"]
+    for name in scen_names:
+        if name not in SCENARIOS:
+            raise SystemExit(
+                f"unknown scenario {name!r}; choices: {sorted(SCENARIOS)}")
+    for name in sched_names:
+        if name not in SCHEDULERS:
+            raise SystemExit(
+                f"unknown scheduler {name!r}; choices: {sorted(SCHEDULERS)}")
+    scenarios = {
+        name: SCENARIOS[name](args.requests, args.seed, args.machines)
+        for name in scen_names
+    }
+    factories = {
+        name: (lambda nm=name: SCHEDULERS[nm](args.machines))
+        for name in sched_names
+    }
+    results = run_sweep(scenarios, factories, verify=args.verify)
+    print(sweep_table(
+        results,
+        title=f"scenario sweep: {args.requests} requests/cell, "
+              f"m={args.machines}, seed={args.seed}, verify={args.verify}",
+    ))
+    return 1 if any(r.failed for r in results.values()) else 0
 
 
 def cmd_generate(args) -> int:
@@ -164,6 +233,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated subset of "
                         f"{sorted(SCHEDULERS)}")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("engine", help="run one scenario through the batch engine")
+    p.add_argument("--scenario", default="steady-state",
+                   help=f"one of {sorted(SCENARIOS)}")
+    p.add_argument("--scheduler", default="reservation")
+    p.add_argument("--requests", type=int, default=10000)
+    p.add_argument("--machines", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verify", default="incremental",
+                   choices=["incremental", "full", "off"])
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   dest="checkpoint_every")
+    p.set_defaults(func=cmd_engine)
+
+    p = sub.add_parser("sweep", help="run every scenario x scheduler cell")
+    p.add_argument("--scenarios", default="",
+                   help=f"comma-separated subset of {sorted(SCENARIOS)}")
+    p.add_argument("--schedulers", default="",
+                   help=f"comma-separated subset of {sorted(SCHEDULERS)}")
+    p.add_argument("--requests", type=int, default=5000)
+    p.add_argument("--machines", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verify", default="incremental",
+                   choices=["incremental", "full", "off"])
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("generate", help="emit a workload trace as JSON")
     add_workload_args(p)

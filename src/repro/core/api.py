@@ -65,6 +65,8 @@ class ReservationScheduler(ReallocatingScheduler):
     True
     """
 
+    _sparse_costing = True
+
     def __init__(
         self,
         num_machines: int = 1,
@@ -98,9 +100,11 @@ class ReservationScheduler(ReallocatingScheduler):
 
     def _apply_insert(self, job: Job) -> None:
         self.delegator.insert(align_job(job))
+        self._merge_touched(self.delegator.last_touched)
 
     def _apply_delete(self, job: Job) -> None:
         self.delegator.delete(job.id)
+        self._merge_touched(self.delegator.last_touched)
 
     # ------------------------------------------------------------------
     def check_balance(self) -> None:

@@ -9,6 +9,15 @@ class diffs placements around each request to produce a
 :class:`~repro.core.costs.RequestCost`. That keeps cost accounting
 uniform and scheduler-independent, exactly as the paper's job-centered
 cost model demands.
+
+Two costing modes exist. The default snapshots the whole placement map
+before each request and diffs after — O(n) per request, correct for any
+subclass. Schedulers on the fast path set ``_sparse_costing = True`` and
+call :meth:`_log_touch` before every placement mutation; the base class
+then diffs only the touched jobs (:func:`~repro.core.costs.diff_touched`),
+making cost accounting O(reallocations) per request — the paper's
+O(log* n) — instead of O(n). The largest active span (the paper's
+``Delta_i``) is likewise tracked incrementally instead of rescanned.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ from __future__ import annotations
 import abc
 from typing import Mapping
 
-from .costs import CostLedger, RequestCost, diff_placements
+from .costs import CostLedger, RequestCost, diff_placements, diff_touched
 from .exceptions import InvalidRequestError
 from .job import Job, JobId, Placement
 from .requests import DeleteJob, InsertJob, Request
@@ -35,11 +44,18 @@ class ReallocatingScheduler(abc.ABC):
     - ``_apply_insert(job)`` must place ``job`` (and may move others).
     - ``_apply_delete(job)`` must unplace ``job`` (and may move others).
     - ``placements`` must always reflect the live schedule.
+    - Sparse-costing subclasses (``_sparse_costing = True``) must call
+      :meth:`_log_touch` (or :meth:`_merge_touched`) before mutating any
+      job's placement, including wrapped sub-schedulers' moves.
 
     Subclasses must raise :class:`InfeasibleError` /
     :class:`UnderallocationError` *before* corrupting state, or restore
     state on failure, so callers can fall back to another scheduler.
     """
+
+    #: subclasses that log touched placements (pre-request values) set
+    #: this True to get O(reallocations) instead of O(n) cost diffing.
+    _sparse_costing = False
 
     def __init__(self, num_machines: int = 1) -> None:
         if num_machines < 1:
@@ -47,6 +63,14 @@ class ReallocatingScheduler(abc.ABC):
         self.num_machines = num_machines
         self.jobs: dict[JobId, Job] = {}
         self.ledger = CostLedger()
+        #: live touched-placement log (active only inside a request)
+        self._touched: dict[JobId, Placement | None] | None = None
+        #: touched log of the most recent completed request (sparse mode
+        #: only) — wrappers fold it into their own log via _merge_touched
+        self.last_touched: dict[JobId, Placement | None] | None = None
+        #: span -> active-job count, for O(1) amortized max-span tracking
+        self._span_counts: dict[int, int] = {}
+        self._max_span_cache = 1
 
     # ------------------------------------------------------------------
     # subclass API
@@ -65,24 +89,63 @@ class ReallocatingScheduler(abc.ABC):
         """Remove ``job`` from the schedule, moving others if desired."""
 
     # ------------------------------------------------------------------
+    # sparse costing support
+    # ------------------------------------------------------------------
+    def _log_touch(self, job_id: JobId) -> None:
+        """Record ``job_id``'s pre-request placement (first touch wins)."""
+        t = self._touched
+        if t is not None and job_id not in t:
+            t[job_id] = self.placements.get(job_id)
+
+    def _merge_touched(
+        self, touched: Mapping[JobId, Placement | None] | None
+    ) -> None:
+        """Fold a wrapped scheduler's touched log into this request's.
+
+        Only valid when the wrapper's placements are coordinate-identical
+        to the wrapped scheduler's (pass-through properties).
+        """
+        t = self._touched
+        if t is None or touched is None:
+            return
+        for job_id, old in touched.items():
+            if job_id not in t:
+                t[job_id] = old
+
+    # ------------------------------------------------------------------
     # public online interface
     # ------------------------------------------------------------------
     def insert(self, job: Job) -> RequestCost:
         """Process an INSERTJOB request and return its measured cost."""
         if job.id in self.jobs:
             raise InvalidRequestError(f"job {job.id!r} already active")
-        before = dict(self.placements)
+        sparse = self._sparse_costing
+        before = None if sparse else dict(self.placements)
+        if sparse:
+            self._touched = {}
         self.jobs[job.id] = job
         try:
             self._apply_insert(job)
         except Exception:
             self.jobs.pop(job.id, None)
+            self._touched = None
             raise
-        cost = diff_placements(
-            before, self.placements,
-            kind="insert", subject=job.id,
-            n_active=len(self.jobs), max_span=self._max_span(),
-        )
+        self._span_add(job.span)
+        if sparse:
+            touched, self._touched = self._touched, None
+            self.last_touched = touched
+            cost = diff_touched(
+                touched, self.placements,
+                kind="insert", subject=job.id,
+                n_active=len(self.jobs), max_span=self._max_span_cache,
+            )
+        else:
+            self.last_touched = None
+            cost = diff_placements(
+                before, self.placements,
+                kind="insert", subject=job.id,
+                n_active=len(self.jobs), max_span=self._max_span_cache,
+            )
         self.ledger.record(cost)
         return cost
 
@@ -91,16 +154,34 @@ class ReallocatingScheduler(abc.ABC):
         job = self.jobs.get(job_id)
         if job is None:
             raise InvalidRequestError(f"job {job_id!r} not active")
-        before = dict(self.placements)
         n_active = len(self.jobs)
-        max_span = self._max_span()
-        self._apply_delete(job)
+        max_span = self._max_span_cache
+        sparse = self._sparse_costing
+        before = None if sparse else dict(self.placements)
+        if sparse:
+            self._touched = {}
+        try:
+            self._apply_delete(job)
+        except Exception:
+            self._touched = None
+            raise
         del self.jobs[job_id]
-        cost = diff_placements(
-            before, self.placements,
-            kind="delete", subject=job_id,
-            n_active=n_active, max_span=max_span,
-        )
+        self._span_remove(job.span)
+        if sparse:
+            touched, self._touched = self._touched, None
+            self.last_touched = touched
+            cost = diff_touched(
+                touched, self.placements,
+                kind="delete", subject=job_id,
+                n_active=n_active, max_span=max_span,
+            )
+        else:
+            self.last_touched = None
+            cost = diff_placements(
+                before, self.placements,
+                kind="delete", subject=job_id,
+                n_active=n_active, max_span=max_span,
+            )
         self.ledger.record(cost)
         return cost
 
@@ -115,7 +196,29 @@ class ReallocatingScheduler(abc.ABC):
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _span_add(self, span: int) -> None:
+        counts = self._span_counts
+        counts[span] = counts.get(span, 0) + 1
+        if span > self._max_span_cache:
+            self._max_span_cache = span
+
+    def _span_remove(self, span: int) -> None:
+        counts = self._span_counts
+        n = counts[span] - 1
+        if n:
+            counts[span] = n
+        else:
+            del counts[span]
+            if span == self._max_span_cache:
+                self._max_span_cache = max(counts, default=1)
+
     def _max_span(self) -> int:
+        """Largest active span, recomputed from scratch.
+
+        Kept for subclasses that record costs outside insert/delete
+        (e.g. elastic machine changes); the base paths use the O(1)
+        incremental ``_max_span_cache``.
+        """
         return max((j.span for j in self.jobs.values()), default=1)
 
     @property

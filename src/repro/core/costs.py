@@ -97,6 +97,46 @@ def diff_placements(
     )
 
 
+def diff_touched(
+    touched: Mapping[JobId, "Placement | None"],
+    after: Mapping[JobId, Placement],
+    *,
+    kind: str,
+    subject: JobId,
+    n_active: int,
+    max_span: int,
+) -> RequestCost:
+    """Build a :class:`RequestCost` from a sparse pre-request log.
+
+    ``touched`` maps every job whose placement the scheduler mutated
+    during the request to its placement *before* the request (None if it
+    had none). Semantically identical to :func:`diff_placements` on full
+    snapshots — a job moved away and back is not rescheduled, inserts
+    and deletes of the subject are not counted — but costs O(touched)
+    instead of O(n) per request.
+    """
+    rescheduled: set[JobId] = set()
+    migrated: set[JobId] = set()
+    for job_id, old in touched.items():
+        if old is None:
+            continue  # had no placement before (inserted by this request)
+        new = after.get(job_id)
+        if new is None:
+            continue  # deleted by this request
+        if new != old:
+            rescheduled.add(job_id)
+            if new.machine != old.machine:
+                migrated.add(job_id)
+    return RequestCost(
+        kind=kind,
+        subject=subject,
+        rescheduled=frozenset(rescheduled),
+        migrated=frozenset(migrated),
+        n_active=n_active,
+        max_span=max_span,
+    )
+
+
 @dataclass
 class CostLedger:
     """Accumulates per-request costs over an execution."""

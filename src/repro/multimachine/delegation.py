@@ -134,6 +134,8 @@ class DelegatingScheduler(ReallocatingScheduler):
     per-machine instances satisfy the ceil(n_W/m) bound of Lemma 3.
     """
 
+    _sparse_costing = True
+
     def __init__(
         self,
         num_machines: int,
@@ -145,31 +147,50 @@ class DelegatingScheduler(ReallocatingScheduler):
             if sub.num_machines != 1:
                 raise ValueError(f"sub-scheduler {i} is not single-machine")
         self.balancer = WindowBalancer(num_machines)
+        #: merged machine-tagged placement map, maintained incrementally
+        #: from the sub-schedulers' per-request costs
+        self._placements: dict[JobId, Placement] = {}
 
     @property
     def placements(self) -> Mapping[JobId, Placement]:
-        out: dict[JobId, Placement] = {}
-        for mi, sub in enumerate(self.machines):
-            for job_id, pl in sub.placements.items():
-                out[job_id] = Placement(mi, pl.slot)
-        return out
+        return self._placements
+
+    def _sync_machine(self, machine: int, cost) -> None:
+        """Mirror one sub-request's placement changes into the merged map.
+
+        ``cost.subject`` plus ``cost.rescheduled`` are exactly the jobs
+        whose placement the sub-scheduler changed; everything else is
+        untouched, so the merged map stays O(changes) per request.
+        """
+        sub_placements = self.machines[machine].placements
+        for job_id in (cost.subject, *cost.rescheduled):
+            self._log_touch(job_id)
+            pl = sub_placements.get(job_id)
+            if pl is None:
+                self._placements.pop(job_id, None)
+            else:
+                self._placements[job_id] = Placement(machine, pl.slot)
 
     def _apply_insert(self, job: Job) -> None:
         machine = self.balancer.choose_insert_machine(job.window)
-        self.machines[machine].insert(job)
+        cost = self.machines[machine].insert(job)
         self.balancer.record_insert(job.id, job.window, machine)
+        self._sync_machine(machine, cost)
 
     def _apply_delete(self, job: Job) -> None:
         machine, mover = self.balancer.plan_delete(job.id)
-        self.machines[machine].delete(job.id)
+        cost = self.machines[machine].delete(job.id)
         self.balancer.record_delete(job.id)
+        self._sync_machine(machine, cost)
         if mover is not None:
             # The single migration: mover leaves the donor machine and
             # re-enters on the machine that lost a job.
             donor = self.balancer.machine_of(mover)
             mover_job = self.machines[donor].jobs[mover]
-            self.machines[donor].delete(mover)
-            self.machines[machine].insert(mover_job)
+            cost = self.machines[donor].delete(mover)
+            self._sync_machine(donor, cost)
+            cost = self.machines[machine].insert(mover_job)
+            self._sync_machine(machine, cost)
             self.balancer.record_migration(mover, machine)
 
     def check_balance(self) -> None:

@@ -141,6 +141,7 @@ class ElasticScheduler(DelegatingScheduler):
         self.num_machines += 1
         moves = self.balancer.grow()
         self._execute(moves)
+        self._rebuild_merged()
         cost = diff_placements(
             before, self.placements, kind="add-machine",
             subject=f"machine{self.num_machines - 1}",
@@ -178,6 +179,7 @@ class ElasticScheduler(DelegatingScheduler):
         self.num_machines -= 1
         moves = self.balancer.shrink(index)
         self._execute(moves, evicted)
+        self._rebuild_merged()
         cost = diff_placements(
             before, self.placements, kind="remove-machine",
             subject=f"machine{index}",
@@ -197,3 +199,17 @@ class ElasticScheduler(DelegatingScheduler):
                 job = self.machines[src].jobs[job_id]
                 self.machines[src].delete(job_id)
             self.machines[dst].insert(job)
+
+    def _rebuild_merged(self) -> None:
+        """Recompute the merged placement map after an elasticity event.
+
+        Machine indexes shift when the pool changes, so the incremental
+        map is rebuilt wholesale — O(n), same order as the event itself.
+        """
+        from ..core.job import Placement
+
+        out: dict[JobId, Placement] = {}
+        for mi, sub in enumerate(self.machines):
+            for job_id, pl in sub.placements.items():
+                out[job_id] = Placement(mi, pl.slot)
+        self._placements = out

@@ -17,12 +17,33 @@ enclosing windows shortest-span first (ties by start) and grant greedily
 — Observation 7's history independence. :meth:`rebalance` reconciles the
 assignment with the target after any change, returning the level-l jobs
 whose backing slot was revoked (the scheduler then MOVEs them).
+
+Fast path (engine-scale runs). The enclosing windows of an interval form
+a fixed tuple (one window per legal span), so demand, assignment counts,
+and the fulfillment target are all kept *positionally* — plain int lists
+indexed by span position — avoiding a Window hash per lookup on the hot
+path; the Window-keyed dicts remain the public API and stay in sync. The
+target list is *memoized* and explicitly invalidated by every mutation
+that can change it (:meth:`add_dynamic`, :meth:`slot_lowered`,
+:meth:`slot_raised`, :meth:`swap_slots`) — safe because the target is a
+pure function of demand and allowance (Observation 7), so the memo is
+bitwise-identical to a recomputation until one of those inputs changes;
+:meth:`compute_target_fresh` recomputes from scratch and is the oracle
+the property tests compare against. A sorted index of *free* allowance
+slots (backing nothing) lets :meth:`rebalance` top up fulfillments
+without scanning the ``L_l`` slot range, and rebalance exits O(1)-early
+when nothing changed since the last reconciliation. The optional
+``on_assign`` / ``on_release`` hooks notify the owning scheduler of
+assignment changes so it can maintain per-window backed-slot indexes,
+and when ``undo_log`` is set every mutation appends its exact inverse —
+the scheduler's failed-request rollback journal.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Callable
 
 from ..core.job import JobId
 from ..core.window import Window, aligned_window_covering
@@ -42,6 +63,29 @@ class Interval:
     dynamic_res: dict[Window, int] = field(default_factory=dict)
     assigned: dict[Window, set[int]] = field(default_factory=dict)
     slot_owner: dict[int, Window] = field(default_factory=dict)
+    #: scheduler hooks fired on every assignment change (slot gained /
+    #: lost by a window); None outside a scheduler (unit tests).
+    on_assign: Callable[[Window, int], None] | None = field(
+        default=None, repr=False, compare=False)
+    on_release: Callable[[Window, int], None] | None = field(
+        default=None, repr=False, compare=False)
+    #: when set (by the scheduler, per request), every mutation appends
+    #: its inverse here — replayed in reverse to roll back a failed request
+    undo_log: list | None = field(default=None, repr=False, compare=False)
+    #: cached enclosing-window tuple (immutable geometry, lazily built)
+    _windows: tuple[Window, ...] | None = field(
+        default=None, repr=False, compare=False)
+    #: positional dynamic counts (index = span position); lazily built
+    _dyn: list[int] | None = field(default=None, repr=False, compare=False)
+    #: positional assigned-slot counts; lazily built
+    _counts: list[int] | None = field(default=None, repr=False, compare=False)
+    #: memoized positional fulfillment target; None = invalidated
+    _tlist: list[int] | None = field(default=None, repr=False, compare=False)
+    #: sorted free allowance slots (in allowance, no owner); None = lazily built
+    _free: list[int] | None = field(default=None, repr=False, compare=False)
+    #: True when a mutation since the last rebalance may have unbalanced
+    #: the assignment (fresh intervals start unreconciled)
+    _stale: bool = field(default=True, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # geometry / demand
@@ -53,15 +97,43 @@ class Interval:
     def slots(self) -> range:
         return range(self.lo, self.hi)
 
+    def _enclosing(self) -> tuple[Window, ...]:
+        ws = self._windows
+        if ws is None:
+            ws = self._windows = tuple(
+                aligned_window_covering(self.lo, s) for s in self.enclosing_spans
+            )
+        return ws
+
     def enclosing_windows(self) -> list[Window]:
         """All legal level-l windows containing this interval, shortest first."""
-        return [aligned_window_covering(self.lo, s) for s in self.enclosing_spans]
+        return list(self._enclosing())
+
+    def _pos(self, window: Window) -> int:
+        """Position of an enclosing window in the span ladder (no hashing)."""
+        return window.span.bit_length() - self.enclosing_spans[0].bit_length()
 
     def allowance_size(self) -> int:
         return self.span - len(self.lower_occupied)
 
     def in_allowance(self, slot: int) -> bool:
         return self.lo <= slot < self.hi and slot not in self.lower_occupied
+
+    def _dyn_list(self) -> list[int]:
+        dyn = self._dyn
+        if dyn is None:
+            get = self.dynamic_res.get
+            dyn = self._dyn = [get(w, 0) for w in self._enclosing()]
+        return dyn
+
+    def _counts_list(self) -> list[int]:
+        counts = self._counts
+        if counts is None:
+            assigned = self.assigned
+            counts = self._counts = [
+                len(assigned.get(w, ())) for w in self._enclosing()
+            ]
+        return counts
 
     def demands(self) -> list[tuple[Window, int]]:
         """(window, demand) for every enclosing window, priority order.
@@ -71,24 +143,53 @@ class Interval:
         fulfillment must not depend on which windows happen to have
         jobs). Priority: shortest span first, ties by window start.
         """
-        out = []
-        for w in self.enclosing_windows():
-            out.append((w, 1 + self.dynamic_res.get(w, 0)))
-        # enclosing_windows is already shortest-first; starts are unique
+        # enclosing windows are already shortest-first; starts are unique
         # per span (one window per span covers this interval), so the
         # span order is a total priority order.
+        return [(w, 1 + d) for w, d in zip(self._enclosing(), self._dyn_list())]
+
+    def _target_list(self) -> list[int]:
+        target = self._tlist
+        if target is None:
+            target = self._tlist = self._compute_target_list()
+        return target
+
+    def _compute_target_list(self) -> list[int]:
+        remaining = self.allowance_size()
+        out = []
+        for d in self._dyn_list():
+            if remaining <= 0:
+                out.append(0)
+                continue
+            take = d + 1
+            if take > remaining:
+                take = remaining
+            out.append(take)
+            remaining -= take
         return out
 
     def target_fulfilled(self) -> dict[Window, int]:
         """Fulfilled-reservation counts per window (pure function).
 
         Greedy by priority: each window receives
-        ``min(demand, remaining allowance)``.
+        ``min(demand, remaining allowance)``. Served from the memoized
+        positional target (invalidated on every demand or allowance
+        mutation); :meth:`compute_target_fresh` is the uncached oracle.
+        """
+        return dict(zip(self._enclosing(), self._target_list()))
+
+    def compute_target_fresh(self) -> dict[Window, int]:
+        """Recompute the fulfillment target from scratch (no memo).
+
+        The history-independence guard: the property tests assert this
+        always equals :meth:`target_fulfilled` under arbitrary
+        insert/delete interleavings.
         """
         remaining = self.allowance_size()
+        get = self.dynamic_res.get
         target: dict[Window, int] = {}
-        for w, demand in self.demands():
-            take = min(demand, remaining)
+        for w in self._enclosing():
+            take = min(1 + get(w, 0), remaining)
             target[w] = take
             remaining -= take
         return target
@@ -97,6 +198,38 @@ class Interval:
         """Demand minus fulfilled, per enclosing window (zero entries kept)."""
         target = self.target_fulfilled()
         return {w: d - target[w] for w, d in self.demands()}
+
+    def _invalidate(self) -> None:
+        self._tlist = None
+        self._stale = True
+
+    # ------------------------------------------------------------------
+    # free-slot index (allowance slots backing nothing)
+    # ------------------------------------------------------------------
+    def free_slots(self) -> list[int]:
+        """Sorted allowance slots currently backing no reservation.
+
+        Maintained incrementally; treat as read-only.
+        """
+        free = self._free
+        if free is None:
+            low = self.lower_occupied
+            owned = self.slot_owner
+            free = self._free = [
+                s for s in self.slots() if s not in low and s not in owned
+            ]
+        return free
+
+    def _free_add(self, slot: int) -> None:
+        if self._free is not None:
+            insort(self._free, slot)
+
+    def _free_discard(self, slot: int) -> None:
+        free = self._free
+        if free is not None:
+            i = bisect_left(free, slot)
+            if i < len(free) and free[i] == slot:
+                del free[i]
 
     # ------------------------------------------------------------------
     # reservation mutation (dynamic part only)
@@ -113,6 +246,76 @@ class Interval:
             self.dynamic_res[window] = new
         else:
             self.dynamic_res.pop(window, None)
+        if self._dyn is not None:
+            self._dyn[self._pos(window)] += delta
+        self._invalidate()
+        log = self.undo_log
+        if log is not None:
+            log.append(lambda: self._undo_dynamic(window, delta))
+
+    def _undo_dynamic(self, window: Window, delta: int) -> None:
+        new = self.dynamic_res.get(window, 0) - delta
+        if new:
+            self.dynamic_res[window] = new
+        else:
+            self.dynamic_res.pop(window, None)
+        if self._dyn is not None:
+            self._dyn[self._pos(window)] -= delta
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # assignment primitives (keep dicts, counts, free index, hooks, undo
+    # log consistent in one place)
+    # ------------------------------------------------------------------
+    def _do_assign(self, window: Window, pos: int, slot: int) -> None:
+        have = self.assigned.get(window)
+        if have is None:
+            have = self.assigned[window] = set()
+        have.add(slot)
+        self.slot_owner[slot] = window
+        self._free_discard(slot)
+        if self._counts is not None:
+            self._counts[pos] += 1
+        if self.on_assign is not None:
+            self.on_assign(window, slot)
+        log = self.undo_log
+        if log is not None:
+            log.append(lambda: self._undo_assign(window, pos, slot))
+
+    def _undo_assign(self, window: Window, pos: int, slot: int) -> None:
+        have = self.assigned.get(window)
+        if have is not None:
+            have.discard(slot)
+            if not have:
+                del self.assigned[window]
+        self.slot_owner.pop(slot, None)
+        self._free_add(slot)
+        if self._counts is not None:
+            self._counts[pos] -= 1
+        self._stale = True
+
+    def _do_release(self, window: Window, pos: int, slot: int) -> None:
+        have = self.assigned[window]
+        have.discard(slot)
+        if not have:
+            del self.assigned[window]
+        del self.slot_owner[slot]
+        self._free_add(slot)
+        if self._counts is not None:
+            self._counts[pos] -= 1
+        if self.on_release is not None:
+            self.on_release(window, slot)
+        log = self.undo_log
+        if log is not None:
+            log.append(lambda: self._undo_release(window, pos, slot))
+
+    def _undo_release(self, window: Window, pos: int, slot: int) -> None:
+        self.assigned.setdefault(window, set()).add(slot)
+        self.slot_owner[slot] = window
+        self._free_discard(slot)
+        if self._counts is not None:
+            self._counts[pos] += 1
+        self._stale = True
 
     # ------------------------------------------------------------------
     # allowance mutation
@@ -125,16 +328,52 @@ class Interval:
         """
         if not self.lo <= slot < self.hi:
             raise ValueError(f"slot {slot} outside interval [{self.lo},{self.hi})")
+        if slot in self.lower_occupied:
+            return
         self.lower_occupied.add(slot)
         owner = self.slot_owner.pop(slot, None)
         if owner is not None:
-            self.assigned[owner].discard(slot)
-            if not self.assigned[owner]:
+            have = self.assigned[owner]
+            have.discard(slot)
+            if not have:
                 del self.assigned[owner]
+            if self._counts is not None:
+                self._counts[self._pos(owner)] -= 1
+            if self.on_release is not None:
+                self.on_release(owner, slot)
+        else:
+            self._free_discard(slot)
+        self._invalidate()
+        log = self.undo_log
+        if log is not None:
+            log.append(lambda: self._undo_slot_lowered(slot, owner))
+
+    def _undo_slot_lowered(self, slot: int, owner: Window | None) -> None:
+        self.lower_occupied.discard(slot)
+        if owner is not None:
+            self.assigned.setdefault(owner, set()).add(slot)
+            self.slot_owner[slot] = owner
+            if self._counts is not None:
+                self._counts[self._pos(owner)] += 1
+        else:
+            self._free_add(slot)
+        self._invalidate()
 
     def slot_raised(self, slot: int) -> None:
         """The lower-level occupant of ``slot`` left (slot rejoins allowance)."""
+        if slot not in self.lower_occupied:
+            return
         self.lower_occupied.discard(slot)
+        self._free_add(slot)
+        self._invalidate()
+        log = self.undo_log
+        if log is not None:
+            log.append(lambda: self._undo_slot_raised(slot))
+
+    def _undo_slot_raised(self, slot: int) -> None:
+        self.lower_occupied.add(slot)
+        self._free_discard(slot)
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # assignment reconciliation
@@ -159,51 +398,69 @@ class Interval:
 
         Returns the level-l jobs whose backing slot was revoked; the
         scheduler must MOVE each of them.
+
+        O(1) when nothing changed since the last reconciliation; when
+        work is needed, only diverging windows are touched and top-up
+        slots come from the free index instead of a range scan.
         """
-        target = self.target_fulfilled()
+        if not self._stale:
+            return []
+        target = self._target_list()
+        counts = self._counts_list()
+        if counts == target:
+            self._stale = False
+            return []
+        windows = self._enclosing()
         revoked: list[JobId] = []
+        deficit = 0
 
         # Phase 1: releases (excess assignments), empty slots first.
-        for w in list(self.assigned):
-            have = self.assigned[w]
-            want = target.get(w, 0)
-            excess = len(have) - want
-            if excess <= 0:
+        for pos, want in enumerate(target):
+            have = counts[pos]
+            if have < want:
+                deficit += want - have
                 continue
-            empties = sorted(s for s in have if level_job_at(s) is None)
-            occupied = sorted(s for s in have if level_job_at(s) is not None)
-            for s in (empties + occupied)[:excess]:
-                have.discard(s)
-                del self.slot_owner[s]
+            if have == want:
+                continue
+            w = windows[pos]
+            slots_set = self.assigned[w]
+            empties = sorted(s for s in slots_set if level_job_at(s) is None)
+            occupied = sorted(s for s in slots_set if level_job_at(s) is not None)
+            for s in (empties + occupied)[:have - want]:
+                self._do_release(w, pos, s)
                 job = level_job_at(s)
                 if job is not None:
                     revoked.append(job)
-            if not have:
-                del self.assigned[w]
 
-        # Phase 2: top-ups. Free = allowance slots backing nothing.
-        free = [s for s in self.slots()
-                if s not in self.lower_occupied and s not in self.slot_owner]
-        # Truly empty slots first, then slots under higher-level jobs.
-        free.sort(key=lambda s: (not empty_at(s), s))
-        fi = 0
-        for w, want in target.items():
-            have = self.assigned.get(w)
-            need = want - (len(have) if have else 0)
-            if need <= 0:
-                continue
-            if fi + need > len(free):  # pragma: no cover - defensive
-                raise AssertionError(
-                    f"interval {self.index} (level {self.level}): target "
-                    "fulfillment exceeds allowance"
-                )
-            chosen = free[fi:fi + need]
-            fi += need
-            if have is None:
-                have = self.assigned[w] = set()
-            for s in chosen:
-                have.add(s)
-                self.slot_owner[s] = w
+        # Phase 2: top-ups from the free index, truly empty slots first,
+        # then slots under higher-level jobs. The scan stops as soon as
+        # enough empty slots are found (they always rank first).
+        if deficit:
+            empties = []
+            covered = []
+            for s in self.free_slots():
+                if empty_at(s):
+                    empties.append(s)
+                    if len(empties) == deficit:
+                        break
+                else:
+                    covered.append(s)
+            pool = empties + covered
+            fi = 0
+            for pos, want in enumerate(target):
+                need = want - counts[pos]
+                if need <= 0:
+                    continue
+                if fi + need > len(pool):  # pragma: no cover - defensive
+                    raise AssertionError(
+                        f"interval {self.index} (level {self.level}): target "
+                        "fulfillment exceeds allowance"
+                    )
+                w = windows[pos]
+                for s in pool[fi:fi + need]:
+                    self._do_assign(w, pos, s)
+                fi += need
+        self._stale = False
         return revoked
 
     # ------------------------------------------------------------------
@@ -219,6 +476,14 @@ class Interval:
         """
         if s1 == s2:
             return
+        self._swap_raw(s1, s2, fire_hooks=True)
+        log = self.undo_log
+        if log is not None:
+            # the raw swap is an involution; hooks are not refired on
+            # undo (the scheduler's window-state journal restores those)
+            log.append(lambda: self._swap_raw(s1, s2, fire_hooks=False))
+
+    def _swap_raw(self, s1: int, s2: int, *, fire_hooks: bool) -> None:
         in1 = s1 in self.lower_occupied
         in2 = s2 in self.lower_occupied
         if in1 != in2:
@@ -232,17 +497,30 @@ class Interval:
         o2 = self.slot_owner.pop(s2, None)
         if o1 is not None:
             self.assigned[o1].discard(s1)
+            if fire_hooks and self.on_release is not None:
+                self.on_release(o1, s1)
         if o2 is not None:
             self.assigned[o2].discard(s2)
+            if fire_hooks and self.on_release is not None:
+                self.on_release(o2, s2)
         if o1 is not None:
             self.slot_owner[s2] = o1
             self.assigned[o1].add(s2)
+            if fire_hooks and self.on_assign is not None:
+                self.on_assign(o1, s2)
         if o2 is not None:
             self.slot_owner[s1] = o2
             self.assigned[o2].add(s1)
-        for owner in (o1, o2):
-            if owner is not None and not self.assigned.get(owner, {1}):
-                self.assigned.pop(owner, None)
+            if fire_hooks and self.on_assign is not None:
+                self.on_assign(o2, s1)
+        # Per-window assignment counts are unchanged (each owner keeps
+        # the same number of slots). Recompute free membership for both
+        # endpoints from first principles (allowance + unowned).
+        for s in (s1, s2):
+            self._free_discard(s)
+            if s not in self.lower_occupied and s not in self.slot_owner:
+                self._free_add(s)
+        self._invalidate()
 
     # ------------------------------------------------------------------
     def total_demand(self) -> int:

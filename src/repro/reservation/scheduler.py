@@ -36,6 +36,18 @@ Deviations from the paper's prose (documented per DESIGN.md):
 - Intervals materialize lazily (scanning current occupancy on
   creation), so no time horizon needs declaring up front.
 
+Fast path: PLACE and MOVE consult per-window backed-slot indexes
+(:class:`~repro.reservation.window_state.WindowState` ``backed_empty`` /
+``backed_covered``, maintained on every assignment and occupancy change)
+instead of scanning the window's slot range, intervals memoize their
+fulfillment targets (see ``interval.py``), and cost accounting uses the
+base class's sparse touched-placement log. Failed requests roll back: an
+undo journal records the pre-state of every structure touched by a
+request, and an :class:`UnderallocationError` / :class:`InfeasibleError`
+replays it in reverse before poisoning, so a poisoned scheduler's state
+still equals the state before the failing request (post-mortem
+validation sees no phantom jobs).
+
 The scheduler requires *aligned* windows and sufficient underallocation
 (Lemma 8 needs 8-underallocation); when slack runs out it raises
 :class:`UnderallocationError` and poisons itself — wrap with the
@@ -60,6 +72,8 @@ from ..levels.policy import LevelPolicy, PAPER_POLICY
 from .interval import Interval
 from .window_state import WindowState, rr_diff
 
+_MISSING = object()
+
 
 class AlignedReservationScheduler(ReallocatingScheduler):
     """Reallocating scheduler for aligned unit jobs on one machine.
@@ -71,6 +85,8 @@ class AlignedReservationScheduler(ReallocatingScheduler):
     tracer:
         Optional :class:`EventTracer` receiving fine-grained events.
     """
+
+    _sparse_costing = True
 
     def __init__(self, policy: LevelPolicy = PAPER_POLICY, *,
                  tracer: EventTracer | NullTracer | None = None) -> None:
@@ -92,6 +108,19 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         }
         self._job_levels: dict[JobId, int] = {}
         self._poisoned = False
+        #: undo journal for the in-flight request (failed-request rollback)
+        self._journal: list | None = None
+        self._jseen: set | None = None
+        self._jtouched: list[Interval] | None = None
+        #: per-level assignment-change hooks handed to intervals
+        self._assign_hooks = {
+            lv: self._make_assign_hook(lv)
+            for lv in range(1, policy.num_reservation_levels + 1)
+        }
+        self._release_hooks = {
+            lv: self._make_release_hook(lv)
+            for lv in range(1, policy.num_reservation_levels + 1)
+        }
 
     # ------------------------------------------------------------------
     # ReallocatingScheduler interface
@@ -109,48 +138,221 @@ class AlignedReservationScheduler(ReallocatingScheduler):
                 f"window {job.window} is not aligned; use the alignment wrapper"
             )
         level = self.policy.level_of_span(job.span)
-        self._job_levels[job.id] = level
+        self._journal, self._jseen, self._jtouched = [], set(), []
         try:
+            self._jdict(self._job_levels, job.id)
+            self._job_levels[job.id] = level
             if level == 0:
                 self._insert_base(job.id, job.window)
             else:
                 self._insert_reserved(job.id, job.window, level)
         except (UnderallocationError, InfeasibleError):
+            self._rollback()
             self._poisoned = True
-            self._job_levels.pop(job.id, None)
             raise
+        finally:
+            for iv in self._jtouched:
+                iv.undo_log = None
+            self._journal = self._jseen = self._jtouched = None
 
     def _apply_delete(self, job: Job) -> None:
         self._check_usable()
-        level = self._job_levels.pop(job.id)
-        slot = self.job_slot.pop(job.id)
-        del self.slot_job[slot]
-        del self._placements[job.id]
-        self.tracer.emit("delete", job.id, level, f"slot {slot}")
-        # The vacated slot rejoins the allowance of every higher level.
+        self._journal, self._jseen, self._jtouched = [], set(), []
         try:
+            level = self._job_levels[job.id]
+            self._jdict(self._job_levels, job.id)
+            del self._job_levels[job.id]
+            slot = self.job_slot[job.id]
+            self._clear_placement(job.id, slot)
+            self.tracer.emit("delete", job.id, level, f"slot {slot}")
+            self._reclassify_backed(slot)
+            # The vacated slot rejoins the allowance of every higher level.
             self._notify_raised(slot, level)
             if level >= 1:
                 self._retract_reservations(job.id, job.window, level)
         except UnderallocationError:
+            self._rollback()
             self._poisoned = True
             raise
+        finally:
+            for iv in self._jtouched:
+                iv.undo_log = None
+            self._journal = self._jseen = self._jtouched = None
+
+    # ------------------------------------------------------------------
+    # undo journal (failed-request rollback)
+    # ------------------------------------------------------------------
+    def _rollback(self) -> None:
+        """Replay the undo journal in reverse, restoring pre-request state."""
+        for undo in reversed(self._journal):
+            undo()
+
+    def _jdict(self, d: dict, key) -> None:
+        """Journal the pre-state of ``d[key]`` (first touch per request)."""
+        journal = self._journal
+        if journal is None:
+            return
+        token = (id(d), key)
+        seen = self._jseen
+        if token in seen:
+            return
+        seen.add(token)
+        old = d.get(key, _MISSING)
+        if old is _MISSING:
+            journal.append(lambda: d.pop(key, None))
+        else:
+            journal.append(lambda: d.__setitem__(key, old))
+
+    def _jtouch(self, iv: Interval) -> None:
+        """Attach the undo journal to an interval (first touch per request).
+
+        The interval then appends the exact inverse of each of its
+        mutations to the journal; ``_apply_insert`` / ``_apply_delete``
+        detach it again when the request finishes either way.
+        """
+        if self._journal is not None and iv.undo_log is None:
+            iv.undo_log = self._journal
+            self._jtouched.append(iv)
+
+    def _jwindow_state(self, ws: WindowState) -> None:
+        """Journal a window state's jobs set and backed indexes (first touch)."""
+        journal = self._journal
+        if journal is None:
+            return
+        token = id(ws)
+        seen = self._jseen
+        if token in seen:
+            return
+        seen.add(token)
+        jobs = set(ws.jobs)
+        empty = ws.backed_empty.snapshot()
+        covered = ws.backed_covered.snapshot()
+
+        def undo() -> None:
+            ws.jobs = jobs
+            ws.backed_empty.restore(empty)
+            ws.backed_covered.restore(covered)
+
+        journal.append(undo)
+
+    # ------------------------------------------------------------------
+    # placement mutation (journal + sparse-cost log in one place)
+    # ------------------------------------------------------------------
+    def _set_placement(self, job_id: JobId, slot: int) -> None:
+        self._log_touch(job_id)
+        self._jdict(self._placements, job_id)
+        self._jdict(self.job_slot, job_id)
+        self._jdict(self.slot_job, slot)
+        self.slot_job[slot] = job_id
+        self.job_slot[job_id] = slot
+        self._placements[job_id] = Placement(0, slot)
+
+    def _clear_placement(self, job_id: JobId, slot: int) -> None:
+        self._log_touch(job_id)
+        self._jdict(self._placements, job_id)
+        self._jdict(self.job_slot, job_id)
+        self._jdict(self.slot_job, slot)
+        del self.slot_job[slot]
+        del self.job_slot[job_id]
+        del self._placements[job_id]
+
+    # ------------------------------------------------------------------
+    # backed-slot indexes (PLACE/MOVE fast path)
+    # ------------------------------------------------------------------
+    def _make_assign_hook(self, level: int):
+        """Interval callback: slot newly backs a reservation of ``window``."""
+        def on_assign(window: Window, slot: int) -> None:
+            ws = self.window_states[level].get(window)
+            if ws is None:
+                return
+            self._jwindow_state(ws)
+            occ = self.slot_job.get(slot)
+            if occ is None:
+                ws.backed_empty.add(slot)
+            elif self._job_levels[occ] != level:
+                ws.backed_covered.add(slot)
+            # own-level occupant: slot backs its own job, in neither index
+        return on_assign
+
+    def _make_release_hook(self, level: int):
+        """Interval callback: slot no longer backs ``window``."""
+        def on_release(window: Window, slot: int) -> None:
+            ws = self.window_states[level].get(window)
+            if ws is None:
+                return
+            self._jwindow_state(ws)
+            ws.backed_empty.discard(slot)
+            ws.backed_covered.discard(slot)
+        return on_release
+
+    def _reclassify_backed(self, slot: int) -> None:
+        """Refresh ``slot``'s backed-index membership at every level.
+
+        Called after any physical occupancy change; recomputes the
+        empty / covered-by-higher / own-occupied classification from the
+        live maps (idempotent, O(number of levels)).
+        """
+        occ = self.slot_job.get(slot)
+        occ_level = self._job_levels[occ] if occ is not None else None
+        for lv in range(1, self.policy.num_reservation_levels + 1):
+            iv = self.intervals[lv].get(self.policy.interval_index(lv, slot))
+            if iv is None:
+                continue
+            window = iv.slot_owner.get(slot)
+            if window is None:
+                continue
+            ws = self.window_states[lv].get(window)
+            if ws is None:
+                continue
+            self._jwindow_state(ws)
+            ws.backed_empty.discard(slot)
+            ws.backed_covered.discard(slot)
+            if occ is None:
+                ws.backed_empty.add(slot)
+            elif occ_level != lv:
+                ws.backed_covered.add(slot)
+
+    def _make_window_state(self, window: Window, level: int) -> WindowState:
+        """Create (and journal) the window state, seeding its indexes.
+
+        Materializes every interval of the window first (establishing
+        their baseline fulfillments, as the seed's PLACE scan did
+        implicitly), then seeds the backed indexes from the live
+        assignments. The window state is published only afterwards, so
+        the materialization rebalances cannot double-count through the
+        assignment hooks.
+        """
+        states = self.window_states[level]
+        self._jdict(states, window)
+        ws = WindowState(window, level,
+                         self.policy.intervals_of_window(level, window))
+        levels = self._job_levels
+        slot_job = self.slot_job
+        for idx in ws.interval_ids:
+            iv = self._interval(level, idx)
+            for s in iv.assigned.get(window, ()):
+                occ = slot_job.get(s)
+                if occ is None:
+                    ws.backed_empty.add(s)
+                elif levels[occ] != level:
+                    ws.backed_covered.add(s)
+        states[window] = ws
+        return ws
 
     # ------------------------------------------------------------------
     # level >= 1: reservations
     # ------------------------------------------------------------------
     def _insert_reserved(self, job_id: JobId, window: Window, level: int) -> None:
-        states = self.window_states[level]
-        ws = states.get(window)
+        ws = self.window_states[level].get(window)
         if ws is None:
-            ws = WindowState(window, level,
-                             self.policy.intervals_of_window(level, window))
-            states[window] = ws
+            ws = self._make_window_state(window, level)
         x_old = ws.x
+        self._jwindow_state(ws)
         ws.jobs.add(job_id)
         # Invariant 5: two new dynamic reservations, round-robin targets.
         for pos, delta in rr_diff(x_old, ws.x, ws.n_intervals).items():
             iv = self._interval(level, ws.interval_ids.start + pos)
+            self._jtouch(iv)
             iv.add_dynamic(window, delta)
             self.tracer.emit("reserve", job_id, level, f"interval {iv.index} {delta:+d}")
             self._rebalance(iv)
@@ -160,12 +362,15 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         states = self.window_states[level]
         ws = states[window]
         x_old = ws.x
+        self._jwindow_state(ws)
         ws.jobs.discard(job_id)
         for pos, delta in rr_diff(x_old, ws.x, ws.n_intervals).items():
             iv = self._interval(level, ws.interval_ids.start + pos)
+            self._jtouch(iv)
             iv.add_dynamic(window, delta)
             self._rebalance(iv)
         if ws.x == 0:
+            self._jdict(states, window)
             del states[window]
 
     def _place(self, job_id: JobId, window: Window, level: int) -> None:
@@ -185,13 +390,28 @@ class AlignedReservationScheduler(ReallocatingScheduler):
     ) -> int | None:
         """A slot assigned to ``window`` holding no level-``level`` job.
 
-        Prefers truly empty slots (scanning the window's intervals left
-        to right and returning the first empty hit); falls back to the
-        first slot under a higher-level job.
+        Prefers truly empty slots, falling back to the lowest-numbered
+        slot under a higher-level job — served in O(1) from the window
+        state's backed-slot indexes (``_scan_fulfilled_free_slot`` is the
+        equivalent index-free scan, kept as the validation oracle).
         """
+        ws = self.window_states[level].get(window)
+        if ws is None:  # pragma: no cover - PLACE/MOVE targets always have one
+            return self._scan_fulfilled_free_slot(window, level, exclude=exclude)
+        slot = ws.backed_empty.first(exclude)
+        if slot is not None:
+            return slot
+        return ws.backed_covered.first(exclude)
+
+    def _scan_fulfilled_free_slot(
+        self, window: Window, level: int, *, exclude: int | None = None,
+    ) -> int | None:
+        """Index-free reference implementation of the PLACE slot choice."""
         fallback: int | None = None
         for idx in self.policy.intervals_of_window(level, window):
-            iv = self._interval(level, idx)
+            iv = self.intervals[level].get(idx)
+            if iv is None:
+                continue
             for s in sorted(iv.assigned.get(window, ())):
                 if s == exclude:
                     continue
@@ -223,16 +443,12 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         self.tracer.emit("move", job_id, level, f"{old} -> {new}")
         displaced = self.slot_job.get(new)
         # Physical relocation: job -> new; displaced higher job (if any) -> old.
-        del self.slot_job[old]
+        self._clear_placement(job_id, old)
         if displaced is not None:
-            del self.slot_job[new]
-        self.slot_job[new] = job_id
-        self.job_slot[job_id] = new
-        self._placements[job_id] = Placement(0, new)
+            self._clear_placement(displaced, new)
+        self._set_placement(job_id, new)
         if displaced is not None:
-            self.slot_job[old] = displaced
-            self.job_slot[displaced] = old
-            self._placements[displaced] = Placement(0, old)
+            self._set_placement(displaced, old)
             self.tracer.emit("displace-swap", displaced, self._job_levels[displaced],
                              f"{new} -> {old}")
         # Ancestor bookkeeping swap (Figure 1, lines 12-13).
@@ -245,7 +461,10 @@ class AlignedReservationScheduler(ReallocatingScheduler):
                 )
             iv = self.intervals[lv].get(idx_old)
             if iv is not None:
+                self._jtouch(iv)
                 iv.swap_slots(old, new)
+        self._reclassify_backed(old)
+        self._reclassify_backed(new)
 
     def _occupy(self, job_id: JobId, level: int, slot: int) -> None:
         """Physically place a job, displacing at most one higher-level job.
@@ -261,19 +480,17 @@ class AlignedReservationScheduler(ReallocatingScheduler):
                 raise AssertionError(
                     "pecking order violated: displacing a non-higher-level job"
                 )
-            del self.slot_job[slot]
-            del self.job_slot[displaced]
-            del self._placements[displaced]
+            self._clear_placement(displaced, slot)
             self.tracer.emit("displace", displaced, displaced_level, f"slot {slot}")
-        self.slot_job[slot] = job_id
-        self.job_slot[job_id] = slot
-        self._placements[job_id] = Placement(0, slot)
+        self._set_placement(job_id, slot)
+        self._reclassify_backed(slot)
         # The slot leaves the allowance of levels (level, top].
         top = (displaced_level if displaced_level is not None
                else self.policy.num_reservation_levels)
         for lv in range(level + 1, top + 1):
             iv = self.intervals[lv].get(self.policy.interval_index(lv, slot))
             if iv is not None:
+                self._jtouch(iv)
                 iv.slot_lowered(slot)
                 self._rebalance(iv)
         if displaced is not None:
@@ -284,11 +501,15 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         for lv in range(level + 1, self.policy.num_reservation_levels + 1):
             iv = self.intervals[lv].get(self.policy.interval_index(lv, slot))
             if iv is not None:
+                self._jtouch(iv)
                 iv.slot_raised(slot)
                 self._rebalance(iv)
 
     def _rebalance(self, iv: Interval) -> None:
         """Reconcile an interval's assignment and MOVE any revoked jobs."""
+        if not iv._stale:
+            return  # nothing changed since the last reconciliation
+        self._jtouch(iv)
         revoked = iv.rebalance(self._level_job_at(iv.level), self._empty_at)
         for job_id in revoked:
             self._move(job_id, iv.level)
@@ -311,12 +532,11 @@ class AlignedReservationScheduler(ReallocatingScheduler):
                     "jobs with nested windows; instance is infeasible"
                 )
             # Take the victim's slot: both are level-0 jobs, so no
-            # higher-level allowance changes (the slot stays lowered).
-            vslot = self.job_slot.pop(victim)
-            self.slot_job[vslot] = current_id
-            self.job_slot[current_id] = vslot
-            self._placements[current_id] = Placement(0, vslot)
-            del self._placements[victim]
+            # higher-level allowance changes (the slot stays lowered) and
+            # no backed index changes (level-0 occupant before and after).
+            vslot = self.job_slot[victim]
+            self._clear_placement(victim, vslot)
+            self._set_placement(current_id, vslot)
             self.tracer.emit("base-cascade", victim, 0, f"evicted from {vslot}")
             current_id, current_window = victim, self.jobs[victim].window
         raise AssertionError(  # pragma: no cover - cascade strictly grows spans
@@ -324,13 +544,20 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         )
 
     def _find_base_slot(self, window: Window) -> int | None:
-        """A slot in the window free of level-0 jobs; empty preferred."""
+        """A slot in the window free of level-0 jobs; empty preferred.
+
+        The scan is over at most ``L_1 = base_threshold`` slots — the
+        constant-cost base case of Lemma 4 — with an early exit on the
+        first truly empty slot.
+        """
         fallback: int | None = None
+        slot_job = self.slot_job
+        levels = self._job_levels
         for s in window.slots():
-            occ = self.slot_job.get(s)
+            occ = slot_job.get(s)
             if occ is None:
                 return s
-            if self._job_levels[occ] == 0:
+            if levels[occ] == 0:
                 continue
             if fallback is None:
                 fallback = s
@@ -370,11 +597,16 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             level=level, index=index,
             lo=index * span, hi=(index + 1) * span,
             enclosing_spans=tuple(self.policy.enclosing_spans(level)),
+            on_assign=self._assign_hooks[level],
+            on_release=self._release_hooks[level],
         )
         for s in iv.slots():
             occ = self.slot_job.get(s)
             if occ is not None and self._job_levels[occ] < level:
                 iv.lower_occupied.add(s)
+        journal = self._journal
+        if journal is not None:
+            journal.append(lambda: table.pop(index, None))
         table[index] = iv
         # Establish baseline fulfillments; a fresh interval has no
         # assignments, so nothing can be revoked.
@@ -384,9 +616,12 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         return iv
 
     def _level_job_at(self, level: int):
+        slot_job = self.slot_job
+        levels = self._job_levels
+
         def probe(slot: int) -> JobId | None:
-            occ = self.slot_job.get(slot)
-            if occ is not None and self._job_levels[occ] == level:
+            occ = slot_job.get(slot)
+            if occ is not None and levels[occ] == level:
                 return occ
             return None
         return probe

@@ -60,6 +60,8 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         Floor for the n* estimate (avoids degenerate trims at tiny n).
     """
 
+    _sparse_costing = True
+
     def __init__(
         self,
         gamma: int = 8,
@@ -103,9 +105,13 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
             self._resize(self.n_star * 2)
         eff = job.with_window(self.effective_window(job.window))
         self.inner.insert(eff)
+        # placements are coordinate-identical to the inner scheduler's,
+        # so its touched log folds straight into this request's.
+        self._merge_touched(self.inner.last_touched)
 
     def _apply_delete(self, job: Job) -> None:
         self.inner.delete(job.id)
+        self._merge_touched(self.inner.last_touched)
         active = len(self.jobs) - 1  # base class removes after we return
         if active < self.n_star // 4 and self.n_star > self.min_n_star:
             self._resize(max(self.min_n_star, self.n_star // 2))
@@ -116,6 +122,9 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         self.rebuilds += 1
         self.tracer.emit("rebuild", None, None,
                          f"n*={new_n_star}, jobs={len(self.inner.jobs)}")
+        # A rebuild can move every survivor: log all pre-rebuild
+        # placements (O(n), amortized O(1) like the rebuild itself).
+        self._merge_touched(dict(self.inner.placements))
         survivors = [job for jid, job in self.jobs.items()
                      if jid in self.inner.jobs]
         self.inner = AlignedReservationScheduler(self.policy, tracer=self.tracer)

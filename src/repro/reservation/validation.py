@@ -47,6 +47,7 @@ def validate_scheduler(
             _check_interval(sched, level, iv)
     _check_window_states(sched)
     _check_job_backing(sched)
+    _check_fast_path_indexes(sched)
     if check_lemma8:
         _check_lemma8(sched)
 
@@ -218,6 +219,56 @@ def _check_job_backing(sched: AlignedReservationScheduler) -> None:
                 f"job {job_id!r} at slot {slot} not backed by a fulfilled "
                 f"reservation of its window {w}"
             )
+
+
+def _check_fast_path_indexes(sched: AlignedReservationScheduler) -> None:
+    """The engine fast path's caches must equal a fresh recomputation.
+
+    Cross-checks, per interval: the memoized fulfillment target against
+    :meth:`~repro.reservation.interval.Interval.compute_target_fresh`
+    (Observation 7's history-independence guard) and the maintained
+    free-slot index against a full allowance scan; per window state: the
+    backed_empty/backed_covered indexes against a rescan of the window's
+    assignments, and the indexed PLACE choice against the reference scan.
+    """
+    for level, table in sched.intervals.items():
+        for iv in table.values():
+            where = f"interval level={level} idx={iv.index}"
+            if iv.target_fulfilled() != iv.compute_target_fresh():
+                _fail(f"{where}: memoized fulfillment target diverges from "
+                      "fresh recomputation")
+            expected_free = [
+                s for s in iv.slots()
+                if s not in iv.lower_occupied and s not in iv.slot_owner
+            ]
+            if iv.free_slots() != expected_free:
+                _fail(f"{where}: free-slot index {iv.free_slots()} != "
+                      f"recomputed {expected_free}")
+    for level, states in sched.window_states.items():
+        for w, ws in states.items():
+            empty: set[int] = set()
+            covered: set[int] = set()
+            for idx in ws.interval_ids:
+                iv = sched.intervals[level].get(idx)
+                if iv is None:
+                    continue
+                for s in iv.assigned.get(w, ()):
+                    occ = sched.slot_job.get(s)
+                    if occ is None:
+                        empty.add(s)
+                    elif sched._job_levels[occ] != level:
+                        covered.add(s)
+            if set(ws.backed_empty) != empty:
+                _fail(f"window {w}: backed_empty {sorted(ws.backed_empty)} != "
+                      f"recomputed {sorted(empty)}")
+            if set(ws.backed_covered) != covered:
+                _fail(f"window {w}: backed_covered "
+                      f"{sorted(ws.backed_covered)} != recomputed {sorted(covered)}")
+            indexed = sched._find_fulfilled_free_slot(w, level)
+            scanned = sched._scan_fulfilled_free_slot(w, level)
+            if indexed != scanned:
+                _fail(f"window {w}: indexed PLACE choice {indexed} != "
+                      f"reference scan {scanned}")
 
 
 def _check_lemma8(sched: AlignedReservationScheduler) -> None:

@@ -15,14 +15,79 @@ paper's "send two new reservations to the leftmost intervals that have
 the least" / "remove one from each of the two rightmost with the most".
 Keeping the law functional makes Observation 7 (history independence of
 the fulfilled sets) literally true by construction.
+
+Fast-path indexes: :class:`SlotIndex` is a bisect-backed sorted slot
+set, and :class:`WindowState` carries two of them — ``backed_empty``
+(slots backing a fulfilled reservation of this window that are truly
+empty) and ``backed_covered`` (backing slots occupied by a *higher*
+level job). Together they let PLACE/MOVE find the preferred fulfilled
+slot in O(1) instead of scanning the window's slot range; the scheduler
+maintains them on every assignment and occupancy change.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from ..core.job import JobId
 from ..core.window import Window
+
+
+class SlotIndex:
+    """A sorted set of slot numbers (bisect-backed).
+
+    Supports O(log k) membership, cheap ordered iteration, and O(1)
+    access to the smallest element — the operations the PLACE/MOVE fast
+    path needs. Mutation is O(k) worst case but the lists are small
+    (bounded by a window's fulfilled-reservation count) and the shifts
+    run at C speed.
+    """
+
+    __slots__ = ("_slots",)
+
+    def __init__(self, items: Iterable[int] = ()) -> None:
+        self._slots: list[int] = sorted(items)
+
+    def add(self, slot: int) -> None:
+        i = bisect_left(self._slots, slot)
+        if i == len(self._slots) or self._slots[i] != slot:
+            self._slots.insert(i, slot)
+
+    def discard(self, slot: int) -> None:
+        i = bisect_left(self._slots, slot)
+        if i < len(self._slots) and self._slots[i] == slot:
+            del self._slots[i]
+
+    def first(self, exclude: int | None = None) -> int | None:
+        """Smallest slot, optionally skipping one excluded value."""
+        for s in self._slots[:2]:
+            if s != exclude:
+                return s
+        return None
+
+    def __contains__(self, slot: int) -> bool:
+        i = bisect_left(self._slots, slot)
+        return i < len(self._slots) and self._slots[i] == slot
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __bool__(self) -> bool:
+        return bool(self._slots)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._slots)
+
+    def snapshot(self) -> list[int]:
+        return list(self._slots)
+
+    def restore(self, snap: list[int]) -> None:
+        self._slots = snap
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SlotIndex({self._slots})"
 
 
 def rr_counts(x: int, n_intervals: int) -> list[int]:
@@ -76,12 +141,23 @@ class WindowState:
         Indices of the ``2**k`` level-l intervals partitioning the window.
     jobs:
         Ids of active jobs whose (effective) window is exactly this one.
+    backed_empty:
+        Slots backing a fulfilled reservation of this window that hold
+        no job at all (PLACE's preferred targets), sorted.
+    backed_covered:
+        Backing slots holding a job of a *higher* level (PLACE's
+        displacement fallback), sorted. Slots under this window's own
+        level-l jobs appear in neither index.
     """
 
     window: Window
     level: int
     interval_ids: range
     jobs: set[JobId] = field(default_factory=set)
+    backed_empty: SlotIndex = field(default_factory=SlotIndex, repr=False,
+                                    compare=False)
+    backed_covered: SlotIndex = field(default_factory=SlotIndex, repr=False,
+                                      compare=False)
 
     @property
     def x(self) -> int:

@@ -1,7 +1,9 @@
-"""Simulation harness: drivers, metrics, growth fitting, text reports."""
+"""Simulation harness: drivers, engine, metrics, growth fitting, reports."""
 
 from .breakdown import breakdown_table, by_level, cascade_depths, movement_breakdown
 from .driver import RunResult, run_comparison, run_sequence
+from .engine import Checkpoint, EngineResult, run_engine, run_sweep, sweep_table
+from .incremental import IncrementalVerifier
 from .metrics import GrowthFit, doubling_series, fit_growth, summarize_series
 from .replay import ExecutionTrace, shrink_failing_prefix
 from .report import experiment_header, format_series, format_table, sparkline
@@ -16,6 +18,12 @@ __all__ = [
     "RunResult",
     "run_comparison",
     "run_sequence",
+    "Checkpoint",
+    "EngineResult",
+    "IncrementalVerifier",
+    "run_engine",
+    "run_sweep",
+    "sweep_table",
     "GrowthFit",
     "doubling_series",
     "fit_growth",

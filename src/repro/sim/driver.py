@@ -7,6 +7,19 @@ as a correctness audit) and optionally validating the reservation
 scheduler's internal invariants. It returns a :class:`RunResult` with
 the cost ledger and summary statistics.
 
+Timing is split by phase: ``scheduler_time_s`` covers only the
+``scheduler.apply`` calls (the honest per-request algorithm cost that
+throughput benchmarks must report), ``audit_time_s`` covers the
+verify/validate hooks, and ``wall_time_s`` is the whole loop. Earlier
+revisions reported a single wall time that silently included the O(n)
+audits, contaminating every throughput number.
+
+Verification defaults to the *incremental* checker
+(:class:`~repro.sim.incremental.IncrementalVerifier`): O(changes) per
+request with periodic and final full audits, keeping verified runs
+within a small factor of unverified ones. Pass ``verify_mode="full"``
+for the legacy full re-verification after every request.
+
 :func:`run_comparison` runs several schedulers over the same sequence
 and aligns their ledgers for head-to-head reporting.
 """
@@ -21,26 +34,43 @@ from ..core.base import ReallocatingScheduler
 from ..core.costs import CostLedger
 from ..core.exceptions import ReproError
 from ..core.requests import RequestSequence
-from ..core.schedule import verify_schedule
+from .incremental import IncrementalVerifier
 
 
 @dataclass
 class RunResult:
-    """Outcome of driving one scheduler over one request sequence."""
+    """Outcome of driving one scheduler over one request sequence.
+
+    ``wall_time_s`` is the full loop time; ``scheduler_time_s`` is the
+    time spent inside ``scheduler.apply`` only, and ``audit_time_s`` the
+    time spent in feasibility verification and invariant validation.
+    Throughput numbers must be computed from ``scheduler_time_s``.
+    """
 
     scheduler_name: str
     ledger: CostLedger
     requests_processed: int
     wall_time_s: float
+    scheduler_time_s: float = 0.0
+    audit_time_s: float = 0.0
     failed: bool = False
     failure: str | None = None
     extras: dict = field(default_factory=dict)
 
     @property
+    def requests_per_second(self) -> float:
+        """Throughput over scheduler time only (audits excluded)."""
+        if self.scheduler_time_s <= 0:
+            return float("nan")
+        return self.requests_processed / self.scheduler_time_s
+
+    @property
     def summary(self) -> dict:
         out = {"scheduler": self.scheduler_name,
                "processed": self.requests_processed,
-               "wall_s": round(self.wall_time_s, 4)}
+               "wall_s": round(self.wall_time_s, 4),
+               "sched_s": round(self.scheduler_time_s, 4),
+               "audit_s": round(self.audit_time_s, 4)}
         out.update(self.ledger.summary())
         if self.failed:
             out["FAILED"] = self.failure
@@ -52,6 +82,8 @@ def run_sequence(
     sequence: RequestSequence,
     *,
     verify_each: bool = True,
+    verify_mode: str = "incremental",
+    full_audit_every: int = 256,
     validate_each: Callable[[ReallocatingScheduler], None] | None = None,
     stop_on_error: bool = True,
     name: str | None = None,
@@ -63,6 +95,14 @@ def run_sequence(
     verify_each:
         Check schedule feasibility after every request (default on; turn
         off only for throughput benchmarks).
+    verify_mode:
+        ``"incremental"`` (default) checks each request's placement
+        changes in O(changes) and runs a full audit every
+        ``full_audit_every`` requests plus once at the end;
+        ``"full"`` re-verifies the whole schedule after every request.
+    full_audit_every:
+        Full-audit period for incremental mode (0 disables periodic
+        audits; the final audit always runs).
     validate_each:
         Optional extra validator called with the scheduler after each
         request (e.g. reservation invariant validation).
@@ -72,37 +112,66 @@ def run_sequence(
         ``failed=True`` instead of raising — used by the gamma-threshold
         ablation, which probes exactly where schedulers break.
     """
+    if verify_mode not in ("incremental", "full"):
+        raise ValueError(f"unknown verify_mode {verify_mode!r}")
     label = name if name is not None else type(scheduler).__name__
+    verifier = (IncrementalVerifier(scheduler.num_machines,
+                                    full_audit_every=full_audit_every,
+                                    where=label)
+                if verify_each and verify_mode == "incremental" else None)
     processed = 0
-    t0 = time.perf_counter()
-    try:
-        for request in sequence:
-            scheduler.apply(request)
-            processed += 1
-            if verify_each:
-                verify_schedule(
-                    scheduler.jobs, scheduler.placements,
-                    scheduler.num_machines,
-                    where=f"{label} after request {processed}",
-                )
-            if validate_each is not None:
-                validate_each(scheduler)
-    except ReproError as exc:
-        if stop_on_error:
-            raise
+    sched_s = 0.0
+    audit_s = 0.0
+    perf = time.perf_counter
+    t0 = perf()
+
+    def finish(failure: str | None = None) -> RunResult:
         return RunResult(
             scheduler_name=label,
             ledger=scheduler.ledger,
             requests_processed=processed,
-            wall_time_s=time.perf_counter() - t0,
-            failed=True,
-            failure=f"{type(exc).__name__}: {exc}",
+            wall_time_s=perf() - t0,
+            scheduler_time_s=sched_s,
+            audit_time_s=audit_s,
+            failed=failure is not None,
+            failure=failure,
         )
-    return RunResult(
-        scheduler_name=label,
-        ledger=scheduler.ledger,
-        requests_processed=processed,
-        wall_time_s=time.perf_counter() - t0,
+
+    try:
+        for request in sequence:
+            ta = perf()
+            cost = scheduler.apply(request)
+            tb = perf()
+            sched_s += tb - ta
+            processed += 1
+            if verify_each:
+                if verifier is not None:
+                    verifier.observe(scheduler, cost)
+                else:
+                    _full_verify(scheduler, label, processed)
+            if validate_each is not None:
+                validate_each(scheduler)
+            if verify_each or validate_each is not None:
+                audit_s += perf() - tb
+        if verifier is not None:
+            ta = perf()
+            verifier.full_audit(scheduler)
+            audit_s += perf() - ta
+    except ReproError as exc:
+        if stop_on_error:
+            raise
+        return finish(failure=f"{type(exc).__name__}: {exc}")
+    return finish()
+
+
+def _full_verify(scheduler: ReallocatingScheduler, label: str,
+                 processed: int) -> None:
+    from ..core.schedule import verify_schedule
+
+    verify_schedule(
+        scheduler.jobs, scheduler.placements,
+        scheduler.num_machines,
+        where=f"{label} after request {processed}",
     )
 
 
@@ -111,6 +180,8 @@ def run_comparison(
     sequence: RequestSequence,
     *,
     verify_each: bool = True,
+    verify_mode: str = "incremental",
+    validate_each: Callable[[ReallocatingScheduler], None] | None = None,
     stop_on_error: bool = True,
 ) -> dict[str, RunResult]:
     """Run several schedulers over the same sequence (fresh instance each)."""
@@ -119,6 +190,8 @@ def run_comparison(
         results[label] = run_sequence(
             factory(), sequence,
             verify_each=verify_each,
+            verify_mode=verify_mode,
+            validate_each=validate_each,
             stop_on_error=stop_on_error,
             name=label,
         )

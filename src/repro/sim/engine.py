@@ -1,0 +1,256 @@
+"""Batch simulation engine for scenario-scale runs.
+
+:func:`run_engine` is the scaled-up sibling of
+:func:`~repro.sim.driver.run_sequence`, built for driving 10^4-10^6
+request workloads while keeping measurements honest:
+
+- **Separated timing phases** — scheduler, verify, and validate time are
+  accumulated independently (:class:`EngineResult`), so throughput is
+  always computed over pure scheduler time even in audited runs.
+- **Incremental verification** — feasibility is checked per request in
+  O(changes) via :class:`~repro.sim.incremental.IncrementalVerifier`,
+  with periodic and final full audits, instead of the O(n)-per-request
+  full re-verification the driver historically paid.
+- **Checkpointed progress** — every ``checkpoint_every`` requests the
+  engine records (and optionally reports through ``on_checkpoint``) the
+  running request rate and phase split, so multi-minute sweeps are
+  observable and a crash keeps partial measurements.
+
+:func:`run_sweep` fans one or many schedulers across a dictionary of
+scenario sequences — the CLI's ``sweep`` command builds the scenario set
+from :data:`~repro.workloads.scenarios.SCENARIOS` — and returns per-cell
+:class:`EngineResult` objects plus a formatted comparison table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..core.base import ReallocatingScheduler
+from ..core.exceptions import ReproError
+from ..core.requests import RequestSequence
+from .incremental import IncrementalVerifier
+from .report import format_table
+
+VERIFY_MODES = ("incremental", "full", "off")
+
+
+@dataclass
+class Checkpoint:
+    """Progress snapshot emitted every ``checkpoint_every`` requests."""
+
+    processed: int
+    wall_time_s: float
+    scheduler_time_s: float
+    verify_time_s: float
+    validate_time_s: float
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.scheduler_time_s <= 0:
+            return float("nan")
+        return self.processed / self.scheduler_time_s
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine run, with per-phase timing.
+
+    ``scheduler_time_s`` covers only ``scheduler.apply``;
+    ``verify_time_s`` the feasibility checks; ``validate_time_s`` the
+    invariant validator. ``requests_per_second`` is computed over
+    scheduler time alone — the honest per-request algorithm cost.
+    """
+
+    name: str
+    scheduler_name: str
+    requests_processed: int
+    wall_time_s: float
+    scheduler_time_s: float
+    verify_time_s: float
+    validate_time_s: float
+    verify_mode: str
+    ledger_summary: dict
+    failed: bool = False
+    failure: str | None = None
+    checkpoints: list[Checkpoint] = field(default_factory=list)
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.scheduler_time_s <= 0:
+            return float("nan")
+        return self.requests_processed / self.scheduler_time_s
+
+    @property
+    def audit_time_s(self) -> float:
+        return self.verify_time_s + self.validate_time_s
+
+    @property
+    def summary(self) -> dict:
+        out = {
+            "run": self.name,
+            "scheduler": self.scheduler_name,
+            "processed": self.requests_processed,
+            "wall_s": round(self.wall_time_s, 4),
+            "sched_s": round(self.scheduler_time_s, 4),
+            "verify_s": round(self.verify_time_s, 4),
+            "validate_s": round(self.validate_time_s, 4),
+            "req_per_s": (round(self.requests_per_second, 1)
+                          if self.scheduler_time_s > 0 else 0.0),
+        }
+        out.update(self.ledger_summary)
+        if self.failed:
+            out["FAILED"] = self.failure
+        return out
+
+
+def run_engine(
+    scheduler: ReallocatingScheduler,
+    sequence: RequestSequence,
+    *,
+    verify: str = "incremental",
+    full_audit_every: int = 1024,
+    validator: Callable[[ReallocatingScheduler], None] | None = None,
+    validate_every: int = 1,
+    checkpoint_every: int = 0,
+    on_checkpoint: Callable[[Checkpoint], None] | None = None,
+    stop_on_error: bool = False,
+    name: str | None = None,
+) -> EngineResult:
+    """Drive ``sequence`` through ``scheduler`` with phase-split timing.
+
+    Parameters
+    ----------
+    verify:
+        ``"incremental"`` (default), ``"full"``, or ``"off"``.
+    full_audit_every:
+        Full-audit period for incremental verification (0 = final only).
+    validator:
+        Optional invariant validator (e.g. ``validate_scheduler``),
+        called every ``validate_every`` requests (0 disables it, like
+        the other periodic knobs); timed separately.
+    checkpoint_every:
+        Record a :class:`Checkpoint` every this many requests (0 = off).
+    stop_on_error:
+        If True, scheduler failures raise; by default the engine ends
+        the run gracefully with ``failed=True`` (sweeps keep going).
+    """
+    if verify not in VERIFY_MODES:
+        raise ValueError(f"verify must be one of {VERIFY_MODES}, got {verify!r}")
+    label = name if name is not None else type(scheduler).__name__
+    verifier = (IncrementalVerifier(scheduler.num_machines,
+                                    full_audit_every=full_audit_every,
+                                    where=label)
+                if verify == "incremental" else None)
+    processed = 0
+    sched_s = verify_s = validate_s = 0.0
+    checkpoints: list[Checkpoint] = []
+    perf = time.perf_counter
+    t0 = perf()
+
+    def checkpoint() -> None:
+        cp = Checkpoint(processed, perf() - t0, sched_s, verify_s, validate_s)
+        checkpoints.append(cp)
+        if on_checkpoint is not None:
+            on_checkpoint(cp)
+
+    def finish(failure: str | None = None) -> EngineResult:
+        return EngineResult(
+            name=label,
+            scheduler_name=type(scheduler).__name__,
+            requests_processed=processed,
+            wall_time_s=perf() - t0,
+            scheduler_time_s=sched_s,
+            verify_time_s=verify_s,
+            validate_time_s=validate_s,
+            verify_mode=verify,
+            ledger_summary=scheduler.ledger.summary(),
+            failed=failure is not None,
+            failure=failure,
+            checkpoints=checkpoints,
+        )
+
+    try:
+        for request in sequence:
+            ta = perf()
+            cost = scheduler.apply(request)
+            tb = perf()
+            sched_s += tb - ta
+            processed += 1
+            if verifier is not None:
+                verifier.observe(scheduler, cost)
+                verify_s += perf() - tb
+            elif verify == "full":
+                from ..core.schedule import verify_schedule
+
+                verify_schedule(scheduler.jobs, scheduler.placements,
+                                scheduler.num_machines,
+                                where=f"{label} after request {processed}")
+                verify_s += perf() - tb
+            if (validator is not None and validate_every
+                    and processed % validate_every == 0):
+                tc = perf()
+                validator(scheduler)
+                validate_s += perf() - tc
+            if checkpoint_every and processed % checkpoint_every == 0:
+                checkpoint()
+        if verifier is not None:
+            ta = perf()
+            verifier.full_audit(scheduler)
+            verify_s += perf() - ta
+    except ReproError as exc:
+        if stop_on_error:
+            raise
+        return finish(failure=f"{type(exc).__name__}: {exc}")
+    return finish()
+
+
+def run_sweep(
+    scenarios: Mapping[str, RequestSequence],
+    factories: Mapping[str, Callable[[], ReallocatingScheduler]],
+    *,
+    verify: str = "incremental",
+    full_audit_every: int = 1024,
+    checkpoint_every: int = 0,
+    on_checkpoint: Callable[[str, Checkpoint], None] | None = None,
+) -> dict[tuple[str, str], EngineResult]:
+    """Run every scheduler over every scenario (fresh instance per cell)."""
+    results: dict[tuple[str, str], EngineResult] = {}
+    for scen_name, sequence in scenarios.items():
+        for sched_name, factory in factories.items():
+            label = f"{scen_name}/{sched_name}"
+            hook = (None if on_checkpoint is None
+                    else (lambda cp, _l=label: on_checkpoint(_l, cp)))
+            results[(scen_name, sched_name)] = run_engine(
+                factory(), sequence,
+                verify=verify,
+                full_audit_every=full_audit_every,
+                checkpoint_every=checkpoint_every,
+                on_checkpoint=hook,
+                name=label,
+            )
+    return results
+
+
+def sweep_table(results: Mapping[tuple[str, str], EngineResult],
+                *, title: str = "scenario sweep") -> str:
+    """Format sweep results as an aligned comparison table."""
+    rows = []
+    for (scen, sched), r in sorted(results.items()):
+        rows.append([
+            scen, sched, r.requests_processed,
+            round(r.requests_per_second, 1) if r.scheduler_time_s > 0 else 0.0,
+            round(r.scheduler_time_s, 3),
+            round(r.verify_time_s, 3),
+            round(r.validate_time_s, 3),
+            r.ledger_summary.get("max_realloc", ""),
+            r.ledger_summary.get("mean_realloc", ""),
+            "FAILED" if r.failed else "ok",
+        ])
+    return format_table(
+        ["scenario", "scheduler", "requests", "req/s", "sched_s",
+         "verify_s", "validate_s", "max realloc", "mean realloc", "status"],
+        rows, title=title,
+    )

@@ -5,12 +5,23 @@ from .random_aligned import (
     random_aligned_sequence,
     saturated_aligned_jobs,
 )
-from .scenarios import appointment_book_sequence, cluster_trace_sequence
+from .scenarios import (
+    SCENARIOS,
+    adversarial_span_mix_sequence,
+    appointment_book_sequence,
+    churn_storm_sequence,
+    cluster_trace_sequence,
+    steady_state_sequence,
+)
 
 __all__ = [
     "AlignedWorkloadConfig",
     "random_aligned_sequence",
     "saturated_aligned_jobs",
+    "SCENARIOS",
     "appointment_book_sequence",
     "cluster_trace_sequence",
+    "churn_storm_sequence",
+    "adversarial_span_mix_sequence",
+    "steady_state_sequence",
 ]

@@ -1,7 +1,7 @@
 """Scenario workloads: the settings the paper's introduction motivates.
 
-Two realistic request-sequence generators exercising the public API the
-way a deployment would:
+Request-sequence generators exercising the public API the way a
+deployment would:
 
 - :func:`appointment_book_sequence` — the doctor's office from the
   paper's opening: patients phone in with an availability window
@@ -13,9 +13,25 @@ way a deployment would:
   jobs with deadlines arriving in bursts, machine count m > 1, heavy
   churn (jobs finish and leave), spans distributed log-uniformly.
 
-Both enforce a target underallocation with the interval-density
-certificate so the reservation scheduler's assumptions hold, and both
-are deterministic given a seed.
+Engine-scale scenarios (built for ``repro.sim.engine`` sweeps at 10^4+
+requests):
+
+- :func:`churn_storm_sequence` — alternating calm/storm phases: the
+  active set builds up, then a storm deletes a large fraction and
+  immediately refills, stressing delete-side rebalancing and the
+  reinsertion fast path.
+- :func:`adversarial_span_mix_sequence` — deliberately hostile span
+  mixture: tiny base-level jobs carpet the same regions targeted by
+  level-1/level-2 jobs, maximizing cross-level displacement, allowance
+  churn, and MOVE cascades.
+- :func:`steady_state_sequence` — long-horizon steady state: ramp up to
+  a target active population, then hold it with balanced insert/delete
+  churn — the regime where per-request cost must stay flat (Theorem 1).
+
+All generators enforce a target underallocation with the
+interval-density certificate so the reservation scheduler's assumptions
+hold, and all are deterministic given a seed. :data:`SCENARIOS` is the
+name -> builder registry the CLI's ``engine``/``sweep`` commands use.
 """
 
 from __future__ import annotations
@@ -150,3 +166,208 @@ def cluster_trace_sequence(
                 tree.remove(victim)
                 seq.append(DeleteJob(victim))
     return seq
+
+
+def _try_insert(
+    rng: np.random.Generator,
+    tree: LaminarLoadTree,
+    seq: RequestSequence,
+    active: list,
+    *,
+    horizon: int,
+    span_exps: tuple[int, int],
+    num_machines: int,
+    gamma: int,
+    uid: list,
+    prefix: str,
+    region: tuple[int, int] | None = None,
+    tries: int = 64,
+) -> bool:
+    """Draw aligned windows until one passes the density admission test."""
+    lo_exp, hi_exp = span_exps
+    for _ in range(tries):
+        span = 1 << int(rng.integers(lo_exp, hi_exp + 1))
+        lo, hi = region if region is not None else (0, horizon)
+        lo_idx, hi_idx = lo // span, max(lo // span + 1, hi // span)
+        start = int(rng.integers(lo_idx, hi_idx)) * span
+        w = Window(start, start + span)
+        if tree.would_fit(w, num_machines, gamma):
+            job_id = f"{prefix}{uid[0]}"
+            uid[0] += 1
+            tree.add(job_id, w)
+            seq.append(InsertJob(Job(job_id, w)))
+            active.append(job_id)
+            return True
+    return False
+
+
+def churn_storm_sequence(
+    *,
+    requests: int = 20_000,
+    horizon: int = 1 << 14,
+    max_span: int = 1 << 12,
+    storm_fraction: float = 0.6,
+    calm_length: int = 512,
+    gamma: int = 8,
+    num_machines: int = 1,
+    seed: int = 0,
+) -> RequestSequence:
+    """Delete/reinsert-heavy churn: calm growth punctuated by storms.
+
+    During a calm phase the active set grows under light churn; every
+    ``calm_length`` requests a *storm* deletes ``storm_fraction`` of the
+    active jobs back-to-back and the next calm refills the capacity.
+    Exercises mass retraction of dynamic reservations, allowance
+    regrowth, and the reinsertion fast path at scale.
+    """
+    rng = np.random.default_rng(seed)
+    tree = LaminarLoadTree(horizon)
+    seq = RequestSequence()
+    active: list[str] = []
+    uid = [0]
+    hi_exp = max_span.bit_length() - 1
+    while len(seq) < requests:
+        # calm phase: mostly inserts, light churn
+        calm_target = min(requests, len(seq) + calm_length)
+        while len(seq) < calm_target:
+            if active and rng.random() < 0.15:
+                victim = active.pop(int(rng.integers(len(active))))
+                tree.remove(victim)
+                seq.append(DeleteJob(victim))
+                continue
+            if not _try_insert(rng, tree, seq, active, horizon=horizon,
+                               span_exps=(0, hi_exp), num_machines=num_machines,
+                               gamma=gamma, uid=uid, prefix="c"):
+                if not active:
+                    raise RuntimeError("churn storm saturated with no jobs")
+                victim = active.pop(int(rng.integers(len(active))))
+                tree.remove(victim)
+                seq.append(DeleteJob(victim))
+        # storm: delete a big slice of the active set back-to-back
+        storm = int(len(active) * storm_fraction)
+        for _ in range(storm):
+            if len(seq) >= requests or not active:
+                break
+            victim = active.pop(int(rng.integers(len(active))))
+            tree.remove(victim)
+            seq.append(DeleteJob(victim))
+    return seq
+
+
+def adversarial_span_mix_sequence(
+    *,
+    requests: int = 20_000,
+    horizon: int = 1 << 14,
+    gamma: int = 8,
+    num_machines: int = 1,
+    seed: int = 0,
+) -> RequestSequence:
+    """Hostile span mixture concentrating every level on shared regions.
+
+    Alternates bursts of tiny base-level jobs (spans 1-8) carpeting a
+    random region with large-span jobs (up to ``horizon/4``) whose
+    windows contain that same region, plus random cancellations. Big
+    jobs keep landing on slots the small jobs want (and vice versa), so
+    cross-level displacement, slot_lowered/raised churn, and MOVE
+    cascades dominate — the worst case for the allowance bookkeeping.
+    """
+    rng = np.random.default_rng(seed)
+    tree = LaminarLoadTree(horizon)
+    seq = RequestSequence()
+    active: list[str] = []
+    uid = [0]
+    big_hi = (horizon // 4).bit_length() - 1
+    while len(seq) < requests:
+        if active and rng.random() < 0.3:
+            victim = active.pop(int(rng.integers(len(active))))
+            tree.remove(victim)
+            seq.append(DeleteJob(victim))
+            continue
+        # pick a shared battleground region of 256 slots
+        region_start = int(rng.integers(0, horizon // 256)) * 256
+        region = (region_start, region_start + 256)
+        burst = int(rng.integers(4, 12))
+        placed_any = False
+        for i in range(burst):
+            if len(seq) >= requests:
+                break
+            if i % 2 == 0:  # tiny job inside the battleground
+                ok = _try_insert(rng, tree, seq, active, horizon=horizon,
+                                 span_exps=(0, 3), num_machines=num_machines,
+                                 gamma=gamma, uid=uid, prefix="a",
+                                 region=region)
+            else:  # large job whose window covers the battleground
+                ok = _try_insert(rng, tree, seq, active, horizon=horizon,
+                                 span_exps=(8, max(8, big_hi)),
+                                 num_machines=num_machines,
+                                 gamma=gamma, uid=uid, prefix="A",
+                                 region=region)
+            placed_any = placed_any or ok
+        if not placed_any:
+            if not active:
+                raise RuntimeError("adversarial mix saturated with no jobs")
+            victim = active.pop(int(rng.integers(len(active))))
+            tree.remove(victim)
+            seq.append(DeleteJob(victim))
+    return seq
+
+
+def steady_state_sequence(
+    *,
+    requests: int = 50_000,
+    horizon: int = 1 << 16,
+    max_span: int = 1 << 14,
+    target_active: int = 2000,
+    gamma: int = 8,
+    num_machines: int = 1,
+    seed: int = 0,
+) -> RequestSequence:
+    """Long-horizon steady state: ramp up, then hold the population.
+
+    Inserts until ``target_active`` jobs are live, then alternates
+    deletes and inserts so the population hovers at the target for the
+    rest of the run — the sustained-traffic regime where Theorem 1's
+    flat per-request cost (and the engine's flat per-request wall time)
+    must show.
+    """
+    rng = np.random.default_rng(seed)
+    tree = LaminarLoadTree(horizon)
+    seq = RequestSequence()
+    active: list[str] = []
+    uid = [0]
+    hi_exp = max_span.bit_length() - 1
+    while len(seq) < requests:
+        over = len(active) >= target_active
+        do_delete = active and (over or rng.random() < 0.5 * len(active) / target_active)
+        if not do_delete:
+            if _try_insert(rng, tree, seq, active, horizon=horizon,
+                           span_exps=(0, hi_exp), num_machines=num_machines,
+                           gamma=gamma, uid=uid, prefix="s"):
+                continue
+            if not active:
+                raise RuntimeError("steady state saturated with no jobs")
+            do_delete = True
+        if do_delete:
+            victim = active.pop(int(rng.integers(len(active))))
+            tree.remove(victim)
+            seq.append(DeleteJob(victim))
+    return seq
+
+
+#: name -> builder(requests, seed, num_machines) used by the CLI engine
+#: and sweep commands. Every builder returns a deterministic sequence
+#: sized to ``requests``.
+SCENARIOS = {
+    "appointments": lambda requests, seed, num_machines: appointment_book_sequence(
+        requests=requests, seed=seed,
+        days=max(8, requests // 50), slots_per_day=32),
+    "cluster": lambda requests, seed, num_machines: cluster_trace_sequence(
+        requests=requests, seed=seed, num_machines=max(1, num_machines)),
+    "churn-storm": lambda requests, seed, num_machines: churn_storm_sequence(
+        requests=requests, seed=seed, num_machines=num_machines),
+    "adversarial-mix": lambda requests, seed, num_machines: adversarial_span_mix_sequence(
+        requests=requests, seed=seed, num_machines=num_machines),
+    "steady-state": lambda requests, seed, num_machines: steady_state_sequence(
+        requests=requests, seed=seed, num_machines=num_machines,
+        target_active=max(64, requests // 25)),
+}
