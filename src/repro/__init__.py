@@ -12,9 +12,14 @@ Public API quick reference
   generators, including the paper's lower-bound constructions.
 - :mod:`repro.sim` — the driver that feeds requests to schedulers while
   verifying feasibility after every request and ledgering costs.
+- :class:`repro.Batch` / :class:`repro.BatchResult` — the batch-first
+  request surface: ``scheduler.apply_batch(batch, atomic=True)``
+  applies a whole burst transactionally under one cost/journal context.
 """
 
 from .core import (
+    Batch,
+    BatchResult,
     CostLedger,
     InfeasibleError,
     InvalidRequestError,
@@ -26,11 +31,15 @@ from .core import (
     UnderallocationError,
     ValidationError,
     Window,
+    iter_batches,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Batch",
+    "BatchResult",
+    "iter_batches",
     "CostLedger",
     "InfeasibleError",
     "InvalidRequestError",

@@ -14,6 +14,10 @@ Commands
 - ``replay`` — run a JSON request trace through a chosen scheduler,
   verifying feasibility after every request.
 - ``bounds`` — print the paper's bound values at given parameters.
+
+``demo``, ``engine``, and ``sweep`` accept ``--batch-size N`` (drive
+requests through the transactional ``apply_batch`` API in bursts of N)
+and ``--atomic-batches`` (all-or-nothing bursts).
 """
 
 from __future__ import annotations
@@ -77,10 +81,14 @@ def _make_workload(args) -> RequestSequence:
 def cmd_demo(args) -> int:
     seq = _make_workload(args)
     sched = ReservationScheduler(args.machines, gamma=8)
-    result = run_sequence(sched, seq)
+    result = run_sequence(sched, seq, batch_size=args.batch_size,
+                          atomic_batches=args.atomic_batches)
     rows = [[k, v] for k, v in result.summary.items()]
-    print(format_table(["metric", "value"], rows,
-                       title=f"Theorem 1 scheduler on {len(seq)} requests"))
+    title = f"Theorem 1 scheduler on {len(seq)} requests"
+    if args.batch_size > 1:
+        title += (f", batch={args.batch_size}"
+                  f"{' atomic' if args.atomic_batches else ''}")
+    print(format_table(["metric", "value"], rows, title=title))
     return 0
 
 
@@ -128,6 +136,8 @@ def cmd_engine(args) -> int:
 
     result = run_engine(
         sched, seq,
+        batch_size=args.batch_size,
+        atomic_batches=args.atomic_batches,
         verify=args.verify,
         checkpoint_every=args.checkpoint_every,
         on_checkpoint=progress if args.checkpoint_every else None,
@@ -136,7 +146,10 @@ def cmd_engine(args) -> int:
     rows = [[k, v] for k, v in result.summary.items()]
     print(format_table(["metric", "value"], rows,
                        title=f"engine: {args.scenario} x {args.scheduler}, "
-                             f"{len(seq)} requests"))
+                             f"{len(seq)} requests"
+                             + (f", batch={args.batch_size}"
+                                f"{' atomic' if args.atomic_batches else ''}"
+                                if args.batch_size > 1 else "")))
     return 1 if result.failed else 0
 
 
@@ -159,7 +172,9 @@ def cmd_sweep(args) -> int:
         name: (lambda nm=name: SCHEDULERS[nm](args.machines))
         for name in sched_names
     }
-    results = run_sweep(scenarios, factories, verify=args.verify)
+    results = run_sweep(scenarios, factories, verify=args.verify,
+                        batch_size=args.batch_size,
+                        atomic_batches=args.atomic_batches)
     print(sweep_table(
         results,
         title=f"scenario sweep: {args.requests} requests/cell, "
@@ -223,8 +238,18 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="delete_fraction")
         p.add_argument("--seed", type=int, default=0)
 
+    def add_batch_args(p):
+        p.add_argument("--batch-size", type=int, default=1, dest="batch_size",
+                       help="drive requests through apply_batch in bursts "
+                            "of this size (1 = per-request)")
+        p.add_argument("--atomic-batches", action="store_true",
+                       dest="atomic_batches",
+                       help="apply each batch all-or-nothing (rolls the "
+                            "whole burst back on a mid-batch failure)")
+
     p = sub.add_parser("demo", help="run the Theorem 1 scheduler once")
     add_workload_args(p)
+    add_batch_args(p)
     p.set_defaults(func=cmd_demo)
 
     p = sub.add_parser("compare", help="compare schedulers on one workload")
@@ -245,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["incremental", "full", "off"])
     p.add_argument("--checkpoint-every", type=int, default=0,
                    dest="checkpoint_every")
+    add_batch_args(p)
     p.set_defaults(func=cmd_engine)
 
     p = sub.add_parser("sweep", help="run every scenario x scheduler cell")
@@ -257,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--verify", default="incremental",
                    choices=["incremental", "full", "off"])
+    add_batch_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("generate", help="emit a workload trace as JSON")

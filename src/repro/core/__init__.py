@@ -1,7 +1,14 @@
 """Core model: jobs, windows, requests, schedules, costs, scheduler protocol."""
 
 from .base import ReallocatingScheduler
-from .costs import CostLedger, RequestCost, bucket_max_by_n, diff_placements, merge_ledgers
+from .costs import (
+    BatchResult,
+    CostLedger,
+    RequestCost,
+    bucket_max_by_n,
+    diff_placements,
+    merge_ledgers,
+)
 from .events import Event, EventTracer, NullTracer
 from .exceptions import (
     InfeasibleError,
@@ -11,12 +18,23 @@ from .exceptions import (
     ValidationError,
 )
 from .job import Job, JobId, Placement
-from .requests import DeleteJob, InsertJob, Request, RequestSequence, delete, insert
+from .requests import (
+    Batch,
+    DeleteJob,
+    InsertJob,
+    Request,
+    RequestSequence,
+    delete,
+    insert,
+    iter_batches,
+)
 from .schedule import format_schedule, is_feasible_schedule, machine_loads, verify_schedule
 from .window import Window, aligned_window_covering, floor_log2, is_power_of_two
 
 __all__ = [
     "ReallocatingScheduler",
+    "Batch",
+    "BatchResult",
     "CostLedger",
     "RequestCost",
     "bucket_max_by_n",
@@ -39,6 +57,7 @@ __all__ = [
     "RequestSequence",
     "delete",
     "insert",
+    "iter_batches",
     "format_schedule",
     "is_feasible_schedule",
     "machine_loads",

@@ -22,6 +22,7 @@ migration.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Mapping
 
 from ..alignment.align import align_job
@@ -93,18 +94,69 @@ class ReservationScheduler(ReallocatingScheduler):
             def factory() -> ReallocatingScheduler:
                 return AlignedReservationScheduler(policy)
         self.delegator = DelegatingScheduler(num_machines, factory)
+        #: per-batch memo of pre-aligned insert jobs (id -> queue)
+        self._align_memo: dict[JobId, deque[Job]] = {}
 
     @property
     def placements(self) -> Mapping[JobId, Placement]:
         return self.delegator.placements
 
     def _apply_insert(self, job: Job) -> None:
-        self.delegator.insert(align_job(job))
+        memo = self._align_memo
+        queue = memo.get(job.id) if memo else None
+        eff = queue.popleft() if queue else align_job(job)
+        self.delegator.insert(eff)
         self._merge_touched(self.delegator.last_touched)
 
     def _apply_delete(self, job: Job) -> None:
         self.delegator.delete(job.id)
         self._merge_touched(self.delegator.last_touched)
+
+    # ------------------------------------------------------------------
+    # batch lifecycle
+    # ------------------------------------------------------------------
+    #: placements pass through the delegator, whose own abort restores
+    #: them — no batch touched log needed at this layer (unless top,
+    #: where the batch net diff still requires one)
+    _batch_restore_needs_touched = False
+
+    def supports_atomic_batches(self) -> bool:
+        return self.delegator.supports_atomic_batches()
+
+    def _batch_prepare(self, inserts: list[Job]) -> None:
+        """Align the batch's windows once and plan the delegation.
+
+        Alignment is a total pure function of the job, so precomputing
+        it for the whole burst is free of semantic risk; the aligned
+        jobs are what the delegator grouping must key on. Per-id queues
+        keep repeated ids (insert, delete, insert again) paired with
+        the right insert, since the batch consumes them in order.
+        """
+        memo: dict[JobId, deque[Job]] = {}
+        aligned: list[Job] = []
+        for job in inserts:
+            eff = align_job(job)
+            memo.setdefault(job.id, deque()).append(eff)
+            aligned.append(eff)
+        self._align_memo = memo
+        self.delegator._batch_prepare(aligned)
+
+    def _batch_begin(self, *, atomic: bool, top: bool,
+                     ephemeral: bool = False,
+                     emit_touched: bool = True) -> None:
+        super()._batch_begin(atomic=atomic, top=top, ephemeral=ephemeral,
+                             emit_touched=emit_touched)
+        self.delegator._batch_begin(atomic=atomic, top=False,
+                                    ephemeral=ephemeral)
+
+    def _batch_commit(self) -> None:
+        super()._batch_commit()
+        self._align_memo = {}
+        self.delegator._batch_commit()
+
+    def _batch_restore(self, ctx) -> None:
+        self._align_memo = {}
+        self.delegator._batch_abort()
 
     # ------------------------------------------------------------------
     def check_balance(self) -> None:

@@ -1,4 +1,4 @@
-"""The reallocating-scheduler interface.
+"""The reallocating-scheduler interface: per-request and batch-first.
 
 Every scheduler in this library — the paper's reservation scheduler, the
 naive pecking-order scheduler, EDF/LLF rebuilds, the per-request-optimal
@@ -18,17 +18,104 @@ then diffs only the touched jobs (:func:`~repro.core.costs.diff_touched`),
 making cost accounting O(reallocations) per request — the paper's
 O(log* n) — instead of O(n). The largest active span (the paper's
 ``Delta_i``) is likewise tracked incrementally instead of rescanned.
+
+Batch contract
+--------------
+Real traffic arrives in bursts, so the public API is batch-first:
+:meth:`ReallocatingScheduler.apply_batch` applies a whole
+:class:`~repro.core.requests.Batch` under ONE batch context. Requests
+are applied strictly in order and every per-request
+:class:`RequestCost` is measured and recorded exactly as sequential
+``apply`` would — a committed batch leaves placements, ledger totals,
+and max-span tracking bit-identical to processing the same requests one
+at a time (the batch-equivalence property, enforced by the test suite).
+What the batch amortizes is bookkeeping, not semantics:
+
+- one touched-placement log spans the burst, finalizing a single sparse
+  net cost diff (:attr:`~repro.core.costs.BatchResult.net`) alongside
+  the per-request breakdown;
+- layers below the batch entry point suspend their own per-request cost
+  finalization (diff + ledger record) — wrappers consume the raw
+  touched logs instead;
+- with ``atomic=True``, rollback switches from the per-request undo
+  journal to batch-scoped snapshot-on-first-touch: a mid-batch failure
+  restores the exact pre-batch state (all-or-nothing), and successful
+  batches skip the per-mutation journal entirely.
+
+Failure semantics: non-atomic batches stop at the first failing
+request, roll that request back (per-request journal, as sequential
+``apply`` does), and report the committed prefix; atomic batches roll
+the whole burst back and leave the scheduler usable, as if the batch
+had never been submitted. ``apply_batch`` never raises for scheduler
+failures (:class:`~repro.core.exceptions.ReproError`) — it reports them
+in the :class:`~repro.core.costs.BatchResult` so drivers can decide.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Mapping
+from typing import Iterable, Mapping
 
-from .costs import CostLedger, RequestCost, diff_placements, diff_touched
-from .exceptions import InvalidRequestError
+from .costs import BatchResult, CostLedger, RequestCost, diff_placements, diff_touched
+from .exceptions import InvalidRequestError, ReproError
 from .job import Job, JobId, Placement
-from .requests import DeleteJob, InsertJob, Request
+from .requests import Batch, DeleteJob, InsertJob, Request
+
+
+class _BatchContext:
+    """Per-batch bookkeeping held by a scheduler while a batch is open.
+
+    ``touched`` is the batch-level first-touch placement log (pre-batch
+    values), kept when the layer needs a net diff (batch entry point) or
+    a placement restore (atomic). ``inserted``/``deleted`` record the
+    batch's net job churn for atomic rollback. ``saved`` is free-form
+    storage for subclass snapshots (inner-scheduler refs, balancer
+    transaction logs, structure snapshots).
+    """
+
+    __slots__ = ("atomic", "top", "touched", "before", "inserted", "deleted",
+                 "ledger_len", "saved", "ephemeral", "emit_touched")
+
+    def __init__(self, *, atomic: bool, top: bool, sparse: bool,
+                 placements: Mapping[JobId, Placement], ledger_len: int,
+                 ephemeral: bool = False, emit_touched: bool = True,
+                 needs_touched: bool = True) -> None:
+        self.atomic = atomic
+        self.top = top
+        self.ephemeral = ephemeral
+        self.emit_touched = emit_touched or top
+        track = atomic and not ephemeral
+        self.touched: dict[JobId, Placement | None] | None = (
+            {} if sparse and (top or (track and needs_touched)) else None)
+        self.before: dict[JobId, Placement] | None = (
+            dict(placements) if (top and not sparse) else None)
+        self.inserted: dict[JobId, Job] | None = {} if track else None
+        self.deleted: dict[JobId, Job] | None = {} if track else None
+        self.ledger_len = ledger_len
+        self.saved: dict = {}
+
+    def merge_touched(
+        self, touched: Mapping[JobId, Placement | None] | None
+    ) -> None:
+        bt = self.touched
+        if bt is None or not touched:
+            return
+        for job_id, old in touched.items():
+            if job_id not in bt:
+                bt[job_id] = old
+
+    def note_insert(self, job: Job) -> None:
+        if self.inserted is not None:
+            self.inserted[job.id] = job
+
+    def note_delete(self, job: Job) -> None:
+        if self.deleted is None:
+            return
+        # A job inserted by this batch and deleted again is net-zero.
+        if job.id in self.inserted:
+            del self.inserted[job.id]
+        else:
+            self.deleted[job.id] = job
 
 
 class ReallocatingScheduler(abc.ABC):
@@ -47,6 +134,11 @@ class ReallocatingScheduler(abc.ABC):
     - Sparse-costing subclasses (``_sparse_costing = True``) must call
       :meth:`_log_touch` (or :meth:`_merge_touched`) before mutating any
       job's placement, including wrapped sub-schedulers' moves.
+    - Batch-aware wrappers override :meth:`_batch_begin` /
+      :meth:`_batch_commit` / :meth:`_batch_restore` to propagate the
+      batch context to inner schedulers, and
+      :meth:`supports_atomic_batches` when the whole stack can restore
+      its exact pre-batch state on abort.
 
     Subclasses must raise :class:`InfeasibleError` /
     :class:`UnderallocationError` *before* corrupting state, or restore
@@ -71,6 +163,8 @@ class ReallocatingScheduler(abc.ABC):
         #: span -> active-job count, for O(1) amortized max-span tracking
         self._span_counts: dict[int, int] = {}
         self._max_span_cache = 1
+        #: open batch context (None outside apply_batch)
+        self._batch: _BatchContext | None = None
 
     # ------------------------------------------------------------------
     # subclass API
@@ -108,6 +202,9 @@ class ReallocatingScheduler(abc.ABC):
         t = self._touched
         if t is None or touched is None:
             return
+        if not t:
+            t.update(touched)
+            return
         for job_id, old in touched.items():
             if job_id not in t:
                 t[job_id] = old
@@ -115,25 +212,39 @@ class ReallocatingScheduler(abc.ABC):
     # ------------------------------------------------------------------
     # public online interface
     # ------------------------------------------------------------------
-    def insert(self, job: Job) -> RequestCost:
-        """Process an INSERTJOB request and return its measured cost."""
+    def insert(self, job: Job) -> RequestCost | None:
+        """Process an INSERTJOB request and return its measured cost.
+
+        Inside a batch, layers below the batch entry point suspend cost
+        finalization and return None — parents read ``last_touched``.
+        """
         if job.id in self.jobs:
             raise InvalidRequestError(f"job {job.id!r} already active")
+        ctx = self._batch
         sparse = self._sparse_costing
-        before = None if sparse else dict(self.placements)
-        if sparse:
+        costed = ctx is None or ctx.top or not sparse
+        before = dict(self.placements) if (costed and not sparse) else None
+        if sparse and (ctx is None or ctx.emit_touched):
             self._touched = {}
         self.jobs[job.id] = job
         try:
             self._apply_insert(job)
         except Exception:
             self.jobs.pop(job.id, None)
-            self._touched = None
+            touched, self._touched = self._touched, None
+            if ctx is not None and ctx.atomic and touched:
+                ctx.merge_touched(touched)  # the abort must see these
             raise
         self._span_add(job.span)
+        if ctx is not None:
+            ctx.note_insert(job)
         if sparse:
             touched, self._touched = self._touched, None
             self.last_touched = touched
+            if ctx is not None:
+                ctx.merge_touched(touched)
+            if not costed:
+                return None
             cost = diff_touched(
                 touched, self.placements,
                 kind="insert", subject=job.id,
@@ -149,27 +260,41 @@ class ReallocatingScheduler(abc.ABC):
         self.ledger.record(cost)
         return cost
 
-    def delete(self, job_id: JobId) -> RequestCost:
-        """Process a DELETEJOB request and return its measured cost."""
+    def delete(self, job_id: JobId) -> RequestCost | None:
+        """Process a DELETEJOB request and return its measured cost.
+
+        Inside a batch, layers below the batch entry point suspend cost
+        finalization and return None — parents read ``last_touched``.
+        """
         job = self.jobs.get(job_id)
         if job is None:
             raise InvalidRequestError(f"job {job_id!r} not active")
         n_active = len(self.jobs)
         max_span = self._max_span_cache
+        ctx = self._batch
         sparse = self._sparse_costing
-        before = None if sparse else dict(self.placements)
-        if sparse:
+        costed = ctx is None or ctx.top or not sparse
+        before = dict(self.placements) if (costed and not sparse) else None
+        if sparse and (ctx is None or ctx.emit_touched):
             self._touched = {}
         try:
             self._apply_delete(job)
         except Exception:
-            self._touched = None
+            touched, self._touched = self._touched, None
+            if ctx is not None and ctx.atomic and touched:
+                ctx.merge_touched(touched)
             raise
         del self.jobs[job_id]
         self._span_remove(job.span)
+        if ctx is not None:
+            ctx.note_delete(job)
         if sparse:
             touched, self._touched = self._touched, None
             self.last_touched = touched
+            if ctx is not None:
+                ctx.merge_touched(touched)
+            if not costed:
+                return None
             cost = diff_touched(
                 touched, self.placements,
                 kind="delete", subject=job_id,
@@ -193,6 +318,172 @@ class ReallocatingScheduler(abc.ABC):
             return self.delete(request.job_id)
         raise InvalidRequestError(f"unknown request: {request!r}")
 
+    def apply_batch(
+        self,
+        requests: Batch | Iterable[Request],
+        *,
+        atomic: bool = False,
+    ) -> BatchResult:
+        """Apply a burst of requests under one batch context.
+
+        Requests are applied strictly in order; per-request costs enter
+        the ledger exactly as sequential :meth:`apply` would, and one
+        batch-level net diff is finalized at commit. See the module
+        docstring for the full batch contract.
+
+        Parameters
+        ----------
+        atomic:
+            All-or-nothing: a mid-batch failure restores the exact
+            pre-batch state and leaves the scheduler usable. Requires
+            :meth:`supports_atomic_batches`. Without it, a failure
+            commits the preceding requests and rolls back only the
+            failing one (sequential semantics).
+        """
+        batch = requests if isinstance(requests, Batch) else Batch(requests)
+        if self._batch is not None:
+            raise InvalidRequestError("apply_batch cannot be nested")
+        if atomic and not self.supports_atomic_batches():
+            raise InvalidRequestError(
+                f"{type(self).__name__} does not support atomic batches"
+            )
+        self._batch_begin(atomic=atomic, top=True)
+        costs: list[RequestCost] = []
+        error: ReproError | None = None
+        failed_index: int | None = None
+        try:
+            self._batch_prepare(batch.insert_jobs)
+            for i, request in enumerate(batch):
+                try:
+                    if isinstance(request, InsertJob):
+                        costs.append(self.insert(request.job))
+                    else:
+                        costs.append(self.delete(request.job_id))
+                except ReproError as exc:
+                    error, failed_index = exc, i
+                    break
+        except BaseException:
+            # Unexpected failure: restore what we can, then propagate.
+            if atomic:
+                self._batch_abort()
+            else:
+                self._batch_commit()
+            raise
+        if error is not None and atomic:
+            self._batch_abort()
+            return BatchResult(
+                costs=costs, net=None, size=len(batch), atomic=True,
+                failed=True, failed_index=failed_index,
+                failure=f"{type(error).__name__}: {error}",
+                rolled_back=True, error=error,
+            )
+        # Net diff over whatever committed — on a non-atomic failure the
+        # touched log covers exactly the committed prefix (the failing
+        # request was rolled back before its touches merged).
+        ctx = self._batch
+        if self._sparse_costing:
+            net = diff_touched(
+                ctx.touched, self.placements,
+                kind="batch", subject="batch",
+                n_active=len(self.jobs), max_span=self._max_span_cache,
+            )
+        else:
+            net = diff_placements(
+                ctx.before, self.placements,
+                kind="batch", subject="batch",
+                n_active=len(self.jobs), max_span=self._max_span_cache,
+            )
+        self._batch_commit()
+        return BatchResult(
+            costs=costs, net=net, size=len(batch), atomic=atomic,
+            failed=error is not None, failed_index=failed_index,
+            failure=(None if error is None
+                     else f"{type(error).__name__}: {error}"),
+            error=error,
+        )
+
+    # ------------------------------------------------------------------
+    # batch plumbing (overridden by wrapper schedulers)
+    # ------------------------------------------------------------------
+    def supports_atomic_batches(self) -> bool:
+        """Whether this scheduler (stack) can restore pre-batch state."""
+        return False
+
+    def _batch_prepare(self, inserts: list[Job]) -> None:
+        """Hook: plan the batch from its insert jobs (grouping, memos)."""
+
+    #: pass-through wrappers whose placements restore entirely through a
+    #: child's abort set this False to skip batch touched-log upkeep
+    _batch_restore_needs_touched = True
+
+    def _batch_begin(self, *, atomic: bool, top: bool,
+                     ephemeral: bool = False,
+                     emit_touched: bool = True) -> None:
+        """Open a batch context. Wrappers extend this to snapshot their
+        own state and begin their children with ``top=False``.
+
+        ``ephemeral`` marks a scheduler *created inside* an open atomic
+        batch (e.g. a trimming rebuild's fresh inner): an abort discards
+        the object wholesale, so it skips rollback tracking entirely —
+        no journal, no snapshots — and runs at full batch speed.
+        ``emit_touched=False`` additionally suspends per-request touched
+        logs, for children whose parent never reads ``last_touched``
+        during the batch (rebuild inners log survivors wholesale).
+        """
+        self._batch = _BatchContext(
+            atomic=atomic, top=top, sparse=self._sparse_costing,
+            placements=self.placements, ledger_len=len(self.ledger.entries),
+            ephemeral=ephemeral, emit_touched=emit_touched,
+            needs_touched=self._batch_restore_needs_touched,
+        )
+
+    def _batch_commit(self) -> None:
+        """Close the batch context, keeping all applied requests.
+        Wrappers extend this to commit their (current) children."""
+        self._batch = None
+
+    def _batch_abort(self) -> None:
+        """Restore the exact pre-batch state (atomic batches only).
+
+        Base-class state (jobs, span tracking, ledger) is restored here;
+        :meth:`_batch_restore` then restores subclass structures — it
+        runs *after* the job set is back, so hooks may derive state from
+        ``self.jobs``.
+        """
+        ctx = self._batch
+        self._batch = None
+        if ctx is None or not ctx.atomic:  # pragma: no cover - defensive
+            raise InvalidRequestError("no atomic batch to abort")
+        for job in ctx.inserted.values():
+            del self.jobs[job.id]
+            self._span_remove(job.span)
+        for job in ctx.deleted.values():
+            self.jobs[job.id] = job
+            self._span_add(job.span)
+        del self.ledger.entries[ctx.ledger_len:]
+        self.last_touched = None
+        self._batch_restore(ctx)
+
+    def _batch_restore(self, ctx: _BatchContext) -> None:
+        """Hook: restore subclass structures from ``ctx`` on abort."""
+
+    def _restore_placement_map(
+        self,
+        placements: dict[JobId, Placement],
+        touched: Mapping[JobId, Placement | None],
+    ) -> None:
+        """Rewind a placement dict using a batch-level touched log.
+
+        Every job whose placement changed during the batch appears in
+        ``touched`` with its pre-batch placement (None = had none), so
+        the rewind is O(touched jobs).
+        """
+        for job_id in touched:
+            placements.pop(job_id, None)
+        for job_id, old in touched.items():
+            if old is not None:
+                placements[job_id] = old
+
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
@@ -215,9 +506,8 @@ class ReallocatingScheduler(abc.ABC):
     def _max_span(self) -> int:
         """Largest active span, recomputed from scratch.
 
-        Kept for subclasses that record costs outside insert/delete
-        (e.g. elastic machine changes); the base paths use the O(1)
-        incremental ``_max_span_cache``.
+        Kept as the validation oracle for the incremental
+        ``_max_span_cache``; no cost-recording path uses it anymore.
         """
         return max((j.span for j in self.jobs.values()), default=1)
 

@@ -138,6 +138,82 @@ def diff_touched(
 
 
 @dataclass
+class BatchResult:
+    """Outcome of one :meth:`ReallocatingScheduler.apply_batch` call.
+
+    A batch finalizes a *single* sparse cost diff for the whole burst
+    (:attr:`net`) plus the per-request :class:`RequestCost` breakdown
+    (:attr:`costs`). Only the per-request costs enter the scheduler's
+    ledger — recording the net diff as well would double-count — so
+    ledger totals stay identical to sequential processing.
+
+    Attributes
+    ----------
+    costs:
+        Per-request costs, in batch order. For a failed non-atomic
+        batch this is the committed prefix; for a rolled-back atomic
+        batch it is the prefix that *was* applied before the rollback
+        (informational — none of it persists).
+    net:
+        The batch-level cost diff: pre-batch placements vs post-batch
+        placements (``kind="batch"``). Jobs moved away and back within
+        the batch do not count; jobs inserted and deleted within the
+        batch appear nowhere. For a failed non-atomic batch it covers
+        the committed prefix; None only for rolled-back atomic batches
+        (nothing persisted).
+    size:
+        Number of requests submitted in the batch.
+    atomic:
+        Whether the batch ran with all-or-nothing semantics.
+    failed / failed_index / failure:
+        Set when a request failed. ``failed_index`` is the position of
+        the failing request; ``failure`` is its error message.
+    rolled_back:
+        True when an atomic batch failed and the scheduler was restored
+        to its exact pre-batch state.
+    error:
+        The original exception object (for drivers that re-raise).
+    """
+
+    costs: list[RequestCost]
+    net: RequestCost | None
+    size: int
+    atomic: bool
+    failed: bool = False
+    failed_index: int | None = None
+    failure: str | None = None
+    rolled_back: bool = False
+    error: Exception | None = field(default=None, repr=False)
+
+    @property
+    def processed(self) -> int:
+        """Requests whose effects persist in the scheduler."""
+        return 0 if self.rolled_back else len(self.costs)
+
+    @property
+    def total_reallocations(self) -> int:
+        return sum(c.reallocation_cost for c in self.costs)
+
+    @property
+    def total_migrations(self) -> int:
+        return sum(c.migration_cost for c in self.costs)
+
+    def changed_jobs(self) -> list[JobId]:
+        """Jobs whose placement any committed request may have changed.
+
+        The union of every per-request subject and rescheduled set, in
+        first-seen order — exactly the set an incremental verifier must
+        re-check at batch commit.
+        """
+        seen: dict[JobId, None] = {}
+        for cost in self.costs:
+            seen.setdefault(cost.subject)
+            for job_id in cost.rescheduled:
+                seen.setdefault(job_id)
+        return list(seen)
+
+
+@dataclass
 class CostLedger:
     """Accumulates per-request costs over an execution."""
 

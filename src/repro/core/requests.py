@@ -8,6 +8,12 @@ schedule for the active jobs.
 :class:`RequestSequence` is a validated, serializable container for such
 executions; it also computes the active job set after any prefix, which
 the feasibility checker and the workload generators use.
+
+:class:`Batch` is the burst-shaped unit of the batch-first API: an
+ordered chunk of requests submitted to
+``ReallocatingScheduler.apply_batch`` as one (optionally atomic)
+transaction. :func:`iter_batches` chunks any request stream into
+batches.
 """
 
 from __future__ import annotations
@@ -48,6 +54,76 @@ class DeleteJob:
 
 
 Request = InsertJob | DeleteJob
+
+
+class Batch:
+    """An ordered burst of requests submitted as one unit.
+
+    The batch-first request API (``ReallocatingScheduler.apply_batch``)
+    consumes these: requests are applied in order, the scheduler opens
+    one touched-placement log for the whole burst, and — with
+    ``atomic=True`` — a mid-batch failure rolls every request back.
+
+    A :class:`Batch` is deliberately thin: unlike
+    :class:`RequestSequence` it does not validate the insert/delete
+    protocol (validity depends on the scheduler's live active set, which
+    only ``apply_batch`` can see). It pre-splits inserts from deletes so
+    schedulers can plan the burst (per-window grouping, machine
+    sub-batches) before applying it.
+    """
+
+    __slots__ = ("requests",)
+
+    def __init__(self, requests: Iterable[Request] = ()) -> None:
+        self.requests: tuple[Request, ...] = tuple(requests)
+        for r in self.requests:
+            if not isinstance(r, (InsertJob, DeleteJob)):
+                raise InvalidRequestError(f"unknown request type: {r!r}")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __getitem__(self, i: int) -> Request:
+        return self.requests[i]
+
+    @property
+    def insert_jobs(self) -> list[Job]:
+        """The jobs inserted by this batch, in batch order."""
+        return [r.job for r in self.requests if isinstance(r, InsertJob)]
+
+    @property
+    def delete_ids(self) -> list[JobId]:
+        """The job ids deleted by this batch, in batch order."""
+        return [r.job_id for r in self.requests if isinstance(r, DeleteJob)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n_ins = sum(1 for r in self.requests if isinstance(r, InsertJob))
+        return (f"Batch(len={len(self.requests)}, inserts={n_ins}, "
+                f"deletes={len(self.requests) - n_ins})")
+
+
+def iter_batches(
+    requests: "Iterable[Request] | RequestSequence",
+    batch_size: int,
+) -> Iterator[Batch]:
+    """Chunk a request stream into :class:`Batch` objects of ``batch_size``.
+
+    The last batch may be shorter. ``batch_size`` must be >= 1; drivers
+    treat size 1 as the sequential path but the chunking works there too.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    pending: list[Request] = []
+    for r in requests:
+        pending.append(r)
+        if len(pending) == batch_size:
+            yield Batch(pending)
+            pending = []
+    if pending:
+        yield Batch(pending)
 
 
 def insert(job_id: JobId, release: int, deadline: int, size: int = 1) -> InsertJob:

@@ -20,10 +20,12 @@ delegator is scheduler-agnostic and works over any per-machine
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections import deque
+from typing import Callable, Iterable, Mapping
 
 from ..core.base import ReallocatingScheduler
 from ..core.job import Job, JobId, Placement
+from ..core.requests import Batch, DeleteJob, InsertJob, Request
 from ..core.window import Window
 
 
@@ -33,6 +35,11 @@ class WindowBalancer:
     Pure bookkeeping — it decides *where* jobs go; the schedulers decide
     *when* they run. Kept separate from the scheduler wrapper so the
     balance invariant can be unit-tested in isolation.
+
+    Per-window counts are maintained incrementally (O(1) round-robin
+    choice instead of an O(m) sum), and mutations can be recorded in a
+    transaction log (:meth:`begin_txn`) that :meth:`abort_txn` replays
+    backwards — the delegation layer's share of atomic-batch rollback.
     """
 
     def __init__(self, num_machines: int) -> None:
@@ -43,17 +50,55 @@ class WindowBalancer:
         self._members: dict[Window, list[set[JobId]]] = {}
         #: job id -> (window, machine)
         self._where: dict[JobId, tuple[Window, int]] = {}
+        #: window -> total job count (incremental; absent = 0)
+        self._count: dict[Window, int] = {}
+        #: open transaction log (None outside an atomic batch)
+        self._oplog: list[tuple] | None = None
 
     def count(self, window: Window) -> int:
-        members = self._members.get(window)
-        return sum(len(s) for s in members) if members else 0
+        return self._count.get(window, 0)
 
     def machine_of(self, job_id: JobId) -> int:
         return self._where[job_id][1]
 
+    def window_of(self, job_id: JobId) -> Window:
+        return self._where[job_id][0]
+
     def choose_insert_machine(self, window: Window) -> int:
         """Machine for a new job with this window: round-robin position."""
-        return self.count(window) % self.m
+        return self._count.get(window, 0) % self.m
+
+    # ------------------------------------------------------------------
+    # transaction log (atomic-batch rollback)
+    # ------------------------------------------------------------------
+    def begin_txn(self) -> None:
+        self._oplog = []
+
+    def commit_txn(self) -> None:
+        self._oplog = None
+
+    def abort_txn(self) -> None:
+        """Replay the transaction log backwards, restoring pre-txn state."""
+        ops, self._oplog = self._oplog, None
+        if ops is None:
+            return
+        for op in reversed(ops):
+            kind = op[0]
+            if kind == "ins":
+                self._unrecord_insert(op[1])
+            elif kind == "del":
+                _, job_id, window, machine = op
+                self._members.setdefault(
+                    window, [set() for _ in range(self.m)]
+                )[machine].add(job_id)
+                self._where[job_id] = (window, machine)
+                self._count[window] = self._count.get(window, 0) + 1
+            else:  # "mig"
+                _, job_id, window, old = op
+                new = self._where[job_id][1]
+                self._members[window][new].discard(job_id)
+                self._members[window][old].add(job_id)
+                self._where[job_id] = (window, old)
 
     def record_insert(self, job_id: JobId, window: Window, machine: int) -> None:
         members = self._members.setdefault(
@@ -61,6 +106,21 @@ class WindowBalancer:
         )
         members[machine].add(job_id)
         self._where[job_id] = (window, machine)
+        self._count[window] = self._count.get(window, 0) + 1
+        if self._oplog is not None:
+            self._oplog.append(("ins", job_id))
+
+    def _unrecord_insert(self, job_id: JobId) -> None:
+        window, machine = self._where.pop(job_id)
+        members = self._members[window]
+        members[machine].discard(job_id)
+        n = self._count[window] - 1
+        if n:
+            self._count[window] = n
+        else:
+            del self._count[window]
+        if not any(members):
+            del self._members[window]
 
     def plan_delete(self, job_id: JobId) -> tuple[int, JobId | None]:
         """Plan a deletion: returns (machine of job, migrating job or None).
@@ -89,20 +149,34 @@ class WindowBalancer:
         window, machine = self._where.pop(job_id)
         members = self._members[window]
         members[machine].discard(job_id)
+        n = self._count[window] - 1
+        if n:
+            self._count[window] = n
+        else:
+            del self._count[window]
         if not any(members):
             del self._members[window]
+        if self._oplog is not None:
+            self._oplog.append(("del", job_id, window, machine))
 
     def record_migration(self, job_id: JobId, to_machine: int) -> None:
         window, old = self._where[job_id]
         self._members[window][old].discard(job_id)
         self._members[window][to_machine].add(job_id)
         self._where[job_id] = (window, to_machine)
+        if self._oplog is not None:
+            self._oplog.append(("mig", job_id, window, old))
 
     def check_balance(self) -> None:
         """Assert the floor/ceil balance invariant for every window."""
         for window, members in self._members.items():
             counts = [len(s) for s in members]
             total = sum(counts)
+            if total != self._count.get(window, 0):
+                raise AssertionError(
+                    f"window {window}: incremental count "
+                    f"{self._count.get(window, 0)} != actual {total}"
+                )
             lo, hi = total // self.m, -(-total // self.m)
             for i, c in enumerate(counts):
                 if not lo <= c <= hi:
@@ -148,22 +222,36 @@ class DelegatingScheduler(ReallocatingScheduler):
                 raise ValueError(f"sub-scheduler {i} is not single-machine")
         self.balancer = WindowBalancer(num_machines)
         #: merged machine-tagged placement map, maintained incrementally
-        #: from the sub-schedulers' per-request costs
+        #: from the sub-schedulers' touched logs / request costs
         self._placements: dict[JobId, Placement] = {}
+        #: per-batch round-robin plan: window -> machine queue for the
+        #: batch's grouped inserts (invalidated per window by deletes)
+        self._batch_plan: dict[Window, deque[int]] = {}
 
     @property
     def placements(self) -> Mapping[JobId, Placement]:
         return self._placements
 
-    def _sync_machine(self, machine: int, cost) -> None:
+    def _sync_machine(self, machine: int, cost, subject: JobId) -> None:
         """Mirror one sub-request's placement changes into the merged map.
 
-        ``cost.subject`` plus ``cost.rescheduled`` are exactly the jobs
-        whose placement the sub-scheduler changed; everything else is
-        untouched, so the merged map stays O(changes) per request.
+        A sparse sub-scheduler's ``last_touched`` names every job whose
+        placement it may have changed (batch mode suspends sub-costs, so
+        the touched log is the one signal available in both modes); a
+        non-sparse sub reports them via ``cost.subject`` +
+        ``cost.rescheduled``. The request's subject is synced explicitly
+        — a trimming rebuild suspends its inner touched logs, so the
+        triggering job may be absent from them. Either way the merged
+        map stays O(changes) per request.
         """
-        sub_placements = self.machines[machine].placements
-        for job_id in (cost.subject, *cost.rescheduled):
+        sub = self.machines[machine]
+        changed = sub.last_touched
+        if changed is None:
+            changed = (cost.subject, *cost.rescheduled)
+        elif subject not in changed:
+            changed = (subject, *changed)
+        sub_placements = sub.placements
+        for job_id in changed:
             self._log_touch(job_id)
             pl = sub_placements.get(job_id)
             if pl is None:
@@ -172,26 +260,130 @@ class DelegatingScheduler(ReallocatingScheduler):
                 self._placements[job_id] = Placement(machine, pl.slot)
 
     def _apply_insert(self, job: Job) -> None:
-        machine = self.balancer.choose_insert_machine(job.window)
+        plan = self._batch_plan
+        if plan:
+            queue = plan.get(job.window)
+            machine = (queue.popleft() if queue
+                       else self.balancer.choose_insert_machine(job.window))
+        else:
+            machine = self.balancer.choose_insert_machine(job.window)
         cost = self.machines[machine].insert(job)
         self.balancer.record_insert(job.id, job.window, machine)
-        self._sync_machine(machine, cost)
+        self._sync_machine(machine, cost, job.id)
 
     def _apply_delete(self, job: Job) -> None:
+        if self._batch_plan:
+            # A delete changes this window's round-robin position: the
+            # rest of its planned insert machines would be stale.
+            self._batch_plan.pop(self.balancer.window_of(job.id), None)
         machine, mover = self.balancer.plan_delete(job.id)
         cost = self.machines[machine].delete(job.id)
         self.balancer.record_delete(job.id)
-        self._sync_machine(machine, cost)
+        self._sync_machine(machine, cost, job.id)
         if mover is not None:
             # The single migration: mover leaves the donor machine and
             # re-enters on the machine that lost a job.
             donor = self.balancer.machine_of(mover)
             mover_job = self.machines[donor].jobs[mover]
             cost = self.machines[donor].delete(mover)
-            self._sync_machine(donor, cost)
+            self._sync_machine(donor, cost, mover)
             cost = self.machines[machine].insert(mover_job)
-            self._sync_machine(machine, cost)
+            self._sync_machine(machine, cost, mover)
             self.balancer.record_migration(mover, machine)
+
+    # ------------------------------------------------------------------
+    # batch lifecycle and per-window grouping
+    # ------------------------------------------------------------------
+    def supports_atomic_batches(self) -> bool:
+        return all(sub.supports_atomic_batches() for sub in self.machines)
+
+    def _batch_prepare(self, inserts: list[Job]) -> None:
+        """Group the batch's inserts per window and plan their machines.
+
+        The plan is the round-robin continuation for each window's
+        grouped inserts, computed once per batch instead of per request;
+        a mid-batch delete of a window drops that window's remaining
+        plan (its round-robin position moved) and those inserts fall
+        back to the live choice. Sequential equivalence is exact: the
+        planned machine equals ``choose_insert_machine`` at apply time.
+        """
+        groups: dict[Window, int] = {}
+        for job in inserts:
+            groups[job.window] = groups.get(job.window, 0) + 1
+        m = self.num_machines
+        count = self.balancer.count
+        self._batch_plan = {
+            window: deque((count(window) + i) % m for i in range(n))
+            for window, n in groups.items()
+        }
+
+    def machine_sub_batches(
+        self, requests: Batch | Iterable[Request],
+    ) -> dict[int, list[Request]]:
+        """Split a batch into the per-machine sub-batches it would drive.
+
+        Planning only — nothing is applied. The batch's effect on each
+        window's round-robin position is simulated request by request
+        (inserts advance it, deletes retract it), so every insert lands
+        on exactly the machine ``apply_batch`` would choose. Deletes go
+        to the machine holding the job — for jobs inserted earlier in
+        the same batch, the machine just planned for them; rebalancing
+        migrations that deletes may trigger are decided at apply time
+        and are not part of the split. This is the consumption shape
+        the multimachine sharding layer will use: one sub-batch per
+        shard worker.
+        """
+        batch = requests if isinstance(requests, Batch) else Batch(requests)
+        m = self.num_machines
+        counts: dict[Window, int] = {}
+        planned: dict[JobId, tuple[Window, int]] = {}
+        out: dict[int, list[Request]] = {i: [] for i in range(m)}
+        for request in batch:
+            if isinstance(request, InsertJob):
+                window = request.job.window
+                count = counts.get(window)
+                if count is None:
+                    count = self.balancer.count(window)
+                machine = count % m
+                counts[window] = count + 1
+                planned[request.job.id] = (window, machine)
+            else:
+                plan = planned.pop(request.job_id, None)
+                if plan is not None:
+                    window, machine = plan
+                else:
+                    window = self.balancer.window_of(request.job_id)
+                    machine = self.balancer.machine_of(request.job_id)
+                count = counts.get(window)
+                if count is None:
+                    count = self.balancer.count(window)
+                counts[window] = count - 1
+            out[machine].append(request)
+        return out
+
+    def _batch_begin(self, *, atomic: bool, top: bool,
+                     ephemeral: bool = False,
+                     emit_touched: bool = True) -> None:
+        super()._batch_begin(atomic=atomic, top=top, ephemeral=ephemeral,
+                             emit_touched=emit_touched)
+        if atomic and not ephemeral:
+            self.balancer.begin_txn()
+        for sub in self.machines:
+            sub._batch_begin(atomic=atomic, top=False, ephemeral=ephemeral)
+
+    def _batch_commit(self) -> None:
+        super()._batch_commit()
+        self._batch_plan = {}
+        self.balancer.commit_txn()
+        for sub in self.machines:
+            sub._batch_commit()
+
+    def _batch_restore(self, ctx) -> None:
+        self._batch_plan = {}
+        for sub in self.machines:
+            sub._batch_abort()
+        self.balancer.abort_txn()
+        self._restore_placement_map(self._placements, ctx.touched)
 
     def check_balance(self) -> None:
         self.balancer.check_balance()

@@ -30,6 +30,7 @@ from typing import Callable
 
 from ..core.base import ReallocatingScheduler
 from ..core.costs import RequestCost, diff_placements
+from ..core.exceptions import InvalidRequestError
 from ..core.job import JobId
 from ..core.window import Window
 from .delegation import DelegatingScheduler, WindowBalancer
@@ -136,6 +137,10 @@ class ElasticScheduler(DelegatingScheduler):
     # ------------------------------------------------------------------
     def add_machine(self) -> RequestCost:
         """Add one machine; rebalance every window onto it."""
+        if self._batch is not None:
+            raise InvalidRequestError(
+                "machine pool changes are not allowed inside a batch"
+            )
         before = dict(self.placements)
         self.machines.append(self._factory())
         self.num_machines += 1
@@ -145,13 +150,17 @@ class ElasticScheduler(DelegatingScheduler):
         cost = diff_placements(
             before, self.placements, kind="add-machine",
             subject=f"machine{self.num_machines - 1}",
-            n_active=len(self.jobs), max_span=self._max_span(),
+            n_active=len(self.jobs), max_span=self._max_span_cache,
         )
         self.ledger.record(cost)
         return cost
 
     def remove_machine(self, index: int) -> RequestCost:
         """Drop a machine; its jobs migrate to the survivors."""
+        if self._batch is not None:
+            raise InvalidRequestError(
+                "machine pool changes are not allowed inside a batch"
+            )
         if self.num_machines <= 1:
             raise ValueError("cannot remove the last machine")
         if not 0 <= index < self.num_machines:
@@ -183,7 +192,7 @@ class ElasticScheduler(DelegatingScheduler):
         cost = diff_placements(
             before, self.placements, kind="remove-machine",
             subject=f"machine{index}",
-            n_active=len(self.jobs), max_span=self._max_span(),
+            n_active=len(self.jobs), max_span=self._max_span_cache,
         )
         self.ledger.record(cost)
         return cost

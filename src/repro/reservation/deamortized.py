@@ -65,7 +65,15 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
     Parameters mirror :class:`TrimmedReservationScheduler`; the
     underallocation requirement doubles (see module docstring).
     ``migrate_per_request`` is the paper's 2.
+
+    Cost accounting is sparse: the merged real-coordinate placement map
+    is maintained incrementally from the inner schedulers' touched logs
+    (each inner touch is transformed through the parity virtualization
+    ``real = 2 * virtual + parity``), so per-request cost diffing is
+    O(reallocations) instead of the former O(n) full-snapshot diff.
     """
+
+    _sparse_costing = True
 
     def __init__(
         self,
@@ -93,6 +101,8 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
         self.incoming_parity = 1
         #: job id -> parity of the inner scheduler holding it
         self._home: dict[JobId, int] = {}
+        #: merged real-coordinate placement map (incremental)
+        self._placements: dict[JobId, Placement] = {}
         self.phases_started = 0
         self.bulk_finishes = 0
 
@@ -121,21 +131,42 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
 
     @property
     def placements(self) -> Mapping[JobId, Placement]:
-        out: dict[JobId, Placement] = {}
-        for parity, sched in ((self.parity, self.active),
-                              (self.incoming_parity, self.incoming)):
-            if sched is None:
-                continue
-            for job_id, pl in sched.placements.items():
-                out[job_id] = Placement(0, 2 * pl.slot + parity)
-        return out
+        return self._placements
+
+    def _sync_inner(self, inner: AlignedReservationScheduler, parity: int,
+                    subject: JobId) -> None:
+        """Mirror one inner request's changes into the merged real map.
+
+        The inner's touched log names every job it may have moved (in
+        virtual coordinates); each is re-read and transformed through
+        the parity virtualization. Pre-change real placements are logged
+        first, so the wrapper's own sparse cost diff sees them.
+        """
+        touched = inner.last_touched
+        if touched is None:
+            changed = (subject,)
+        elif subject in touched:
+            changed = touched
+        else:
+            changed = (subject, *touched)
+        inner_placements = inner.placements
+        merged = self._placements
+        for job_id in changed:
+            self._log_touch(job_id)
+            pl = inner_placements.get(job_id)
+            if pl is None:
+                merged.pop(job_id, None)
+            else:
+                merged[job_id] = Placement(0, 2 * pl.slot + parity)
 
     # ------------------------------------------------------------------
     # online interface
     # ------------------------------------------------------------------
     def _apply_insert(self, job: Job) -> None:
         target_parity = self.incoming_parity if self.in_phase else self.parity
-        self._inner(target_parity).insert(self._effective(job))
+        inner = self._inner(target_parity)
+        inner.insert(self._effective(job))
+        self._sync_inner(inner, target_parity, job.id)
         self._home[job.id] = target_parity
         self._tick()
         if len(self.jobs) > self.n_star:
@@ -143,7 +174,9 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
 
     def _apply_delete(self, job: Job) -> None:
         parity = self._home.pop(job.id)
-        self._inner(parity).delete(job.id)
+        inner = self._inner(parity)
+        inner.delete(job.id)
+        self._sync_inner(inner, parity, job.id)
         self._tick()
         active_after = len(self.jobs) - 1
         if active_after < self.n_star // 4 and self.n_star > self.min_n_star:
@@ -164,6 +197,13 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
         self.phases_started += 1
         self.incoming_parity = 1 - self.parity
         self.incoming = AlignedReservationScheduler(self.policy)
+        ctx = self._batch
+        if ctx is not None:
+            # A phase opened mid-atomic-batch drains into a scheduler an
+            # abort simply discards (the saved pre-batch pair swaps
+            # back), so the incoming side skips rollback tracking.
+            self.incoming._batch_begin(atomic=ctx.atomic, top=False,
+                                       ephemeral=ctx.atomic or ctx.ephemeral)
         if not self.active.jobs:
             self._finish_phase()
 
@@ -183,7 +223,9 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
                          key=lambda j: (self.active.jobs[j].span, str(j)))
             original = self.jobs[job_id]
             self.active.delete(job_id)
+            self._sync_inner(self.active, self.parity, job_id)
             self.incoming.insert(self._effective(original))
+            self._sync_inner(self.incoming, self.incoming_parity, job_id)
             self._home[job_id] = self.incoming_parity
         if not self.active.jobs:
             self._finish_phase()
@@ -194,6 +236,49 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
         self.parity = self.incoming_parity
         self.incoming = None
         self.incoming_parity = 1 - self.parity
+
+    # ------------------------------------------------------------------
+    # batch lifecycle
+    # ------------------------------------------------------------------
+    def supports_atomic_batches(self) -> bool:
+        return True
+
+    def _batch_begin(self, *, atomic: bool, top: bool,
+                     ephemeral: bool = False,
+                     emit_touched: bool = True) -> None:
+        super()._batch_begin(atomic=atomic, top=top, ephemeral=ephemeral,
+                             emit_touched=emit_touched)
+        if atomic and not ephemeral:
+            self._batch.saved["deam"] = (
+                self.parity, self.incoming_parity, self.active,
+                self.incoming, self.n_star, self.phases_started,
+                self.bulk_finishes,
+            )
+        self.active._batch_begin(atomic=atomic, top=False, ephemeral=ephemeral)
+        if self.incoming is not None:
+            self.incoming._batch_begin(atomic=atomic, top=False,
+                                       ephemeral=ephemeral)
+
+    def _batch_commit(self) -> None:
+        super()._batch_commit()
+        self.active._batch_commit()
+        if self.incoming is not None:
+            self.incoming._batch_commit()
+
+    def _batch_restore(self, ctx) -> None:
+        (self.parity, self.incoming_parity, self.active, self.incoming,
+         self.n_star, self.phases_started, self.bulk_finishes) = \
+            ctx.saved["deam"]
+        self.active._batch_abort()
+        if self.incoming is not None:
+            self.incoming._batch_abort()
+        self._restore_placement_map(self._placements, ctx.touched)
+        # The home map is derivable from the inners' restored job sets.
+        home = {job_id: self.parity for job_id in self.active.jobs}
+        if self.incoming is not None:
+            for job_id in self.incoming.jobs:
+                home[job_id] = self.incoming_parity
+        self._home = home
 
     # ------------------------------------------------------------------
     @property

@@ -48,6 +48,16 @@ replays it in reverse before poisoning, so a poisoned scheduler's state
 still equals the state before the failing request (post-mortem
 validation sees no phantom jobs).
 
+Batched fast path: inside an *atomic* ``apply_batch`` the per-request
+journal is replaced by batch-scoped rollback (:class:`_AtomicBatchLog`)
+— one undo journal spans the burst's interval mutations, window states
+and their tables are snapshotted once per batch on first touch, the
+placement maps rewind from the batch-level touched log, and job levels
+rebuild from spans on the (rare) abort. The per-request journal
+setup/teardown and the three placement-map journal entries per
+mutation disappear entirely, while a mid-batch failure still restores
+the exact pre-batch state.
+
 The scheduler requires *aligned* windows and sufficient underallocation
 (Lemma 8 needs 8-underallocation); when slack runs out it raises
 :class:`UnderallocationError` and poisons itself — wrap with the
@@ -73,6 +83,40 @@ from .interval import Interval
 from .window_state import WindowState, rr_diff
 
 _MISSING = object()
+
+
+class _AtomicBatchLog:
+    """Batch-scoped rollback log for atomic batches.
+
+    Inside an atomic batch the *per-request* undo journal is switched
+    off. Intervals share ONE undo journal spanning the whole batch,
+    attached on first touch — the per-request attach/detach cycle and
+    the placement-map journaling disappear, which is where the batched
+    fast path's journal amortization comes from. Window states and
+    window-state tables are snapshotted once per batch on first touch
+    (id-keyed dedup); placement maps rewind from the batch-level touched
+    log. :meth:`AlignedReservationScheduler._batch_restore` replays the
+    journal backwards and reinstates the snapshots on abort.
+    """
+
+    __slots__ = ("seen", "journal", "journal_ivs", "windows", "dicts",
+                 "created", "track")
+
+    def __init__(self, *, track: bool = True) -> None:
+        #: False for ephemeral (discard-on-abort) schedulers: the
+        #: journal stays off and nothing is recorded either
+        self.track = track
+        self.seen: set[int] = set()
+        #: batch-wide undo journal shared by every touched interval
+        self.journal: list = []
+        #: intervals whose undo_log points at the batch journal
+        self.journal_ivs: list[Interval] = []
+        #: (window_state, jobs copy, backed_empty snap, backed_covered snap)
+        self.windows: list = []
+        #: (dict, shallow copy) — window-state tables
+        self.dicts: list = []
+        #: (interval table, index) for intervals materialized mid-batch
+        self.created: list = []
 
 
 class AlignedReservationScheduler(ReallocatingScheduler):
@@ -112,6 +156,9 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         self._journal: list | None = None
         self._jseen: set | None = None
         self._jtouched: list[Interval] | None = None
+        #: snapshot log while an *atomic* batch is open (replaces the
+        #: per-request journal for the duration of the batch)
+        self._abatch: _AtomicBatchLog | None = None
         #: per-level assignment-change hooks handed to intervals
         self._assign_hooks = {
             lv: self._make_assign_hook(lv)
@@ -138,7 +185,9 @@ class AlignedReservationScheduler(ReallocatingScheduler):
                 f"window {job.window} is not aligned; use the alignment wrapper"
             )
         level = self.policy.level_of_span(job.span)
-        self._journal, self._jseen, self._jtouched = [], set(), []
+        journaled = self._abatch is None
+        if journaled:
+            self._journal, self._jseen, self._jtouched = [], set(), []
         try:
             self._jdict(self._job_levels, job.id)
             self._job_levels[job.id] = level
@@ -147,17 +196,21 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             else:
                 self._insert_reserved(job.id, job.window, level)
         except (UnderallocationError, InfeasibleError):
-            self._rollback()
+            if journaled:
+                self._rollback()
             self._poisoned = True
             raise
         finally:
-            for iv in self._jtouched:
-                iv.undo_log = None
-            self._journal = self._jseen = self._jtouched = None
+            if journaled:
+                for iv in self._jtouched:
+                    iv.undo_log = None
+                self._journal = self._jseen = self._jtouched = None
 
     def _apply_delete(self, job: Job) -> None:
         self._check_usable()
-        self._journal, self._jseen, self._jtouched = [], set(), []
+        journaled = self._abatch is None
+        if journaled:
+            self._journal, self._jseen, self._jtouched = [], set(), []
         try:
             level = self._job_levels[job.id]
             self._jdict(self._job_levels, job.id)
@@ -171,13 +224,15 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             if level >= 1:
                 self._retract_reservations(job.id, job.window, level)
         except UnderallocationError:
-            self._rollback()
+            if journaled:
+                self._rollback()
             self._poisoned = True
             raise
         finally:
-            for iv in self._jtouched:
-                iv.undo_log = None
-            self._journal = self._jseen = self._jtouched = None
+            if journaled:
+                for iv in self._jtouched:
+                    iv.undo_log = None
+                self._journal = self._jseen = self._jtouched = None
 
     # ------------------------------------------------------------------
     # undo journal (failed-request rollback)
@@ -204,54 +259,157 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             journal.append(lambda: d.__setitem__(key, old))
 
     def _jtouch(self, iv: Interval) -> None:
-        """Attach the undo journal to an interval (first touch per request).
+        """Guard an interval's state (first touch per request or batch).
 
-        The interval then appends the exact inverse of each of its
-        mutations to the journal; ``_apply_insert`` / ``_apply_delete``
-        detach it again when the request finishes either way.
+        Per-request mode attaches the undo journal: the interval appends
+        the exact inverse of each mutation, and ``_apply_insert`` /
+        ``_apply_delete`` detach it when the request finishes. Inside an
+        atomic batch the interval's whole state is captured once instead
+        — no per-mutation closures.
         """
-        if self._journal is not None and iv.undo_log is None:
-            iv.undo_log = self._journal
-            self._jtouched.append(iv)
+        if self._journal is not None:
+            if iv.undo_log is None:
+                iv.undo_log = self._journal
+                self._jtouched.append(iv)
+            return
+        ab = self._abatch
+        if ab is not None and ab.track and iv.undo_log is None:
+            iv.undo_log = ab.journal
+            ab.journal_ivs.append(iv)
 
     def _jwindow_state(self, ws: WindowState) -> None:
-        """Journal a window state's jobs set and backed indexes (first touch)."""
-        journal = self._journal
-        if journal is None:
-            return
-        token = id(ws)
-        seen = self._jseen
-        if token in seen:
-            return
-        seen.add(token)
-        jobs = set(ws.jobs)
-        empty = ws.backed_empty.snapshot()
-        covered = ws.backed_covered.snapshot()
+        """Snapshot a window state's jobs set and backed indexes.
 
-        def undo() -> None:
+        First touch per request (undo journal) or per atomic batch
+        (batch snapshot log).
+        """
+        journal = self._journal
+        if journal is not None:
+            token = id(ws)
+            seen = self._jseen
+            if token in seen:
+                return
+            seen.add(token)
+            jobs = set(ws.jobs)
+            empty = ws.backed_empty.snapshot()
+            covered = ws.backed_covered.snapshot()
+
+            def undo() -> None:
+                ws.jobs = jobs
+                ws.backed_empty.restore(empty)
+                ws.backed_covered.restore(covered)
+
+            journal.append(undo)
+            return
+        ab = self._abatch
+        if ab is not None and ab.track and id(ws) not in ab.seen:
+            ab.seen.add(id(ws))
+            ab.windows.append((ws, set(ws.jobs), ws.backed_empty.snapshot(),
+                               ws.backed_covered.snapshot()))
+
+    def _jstates_dict(self, states: dict) -> None:
+        """Capture a window-state table before structural change (atomic).
+
+        Per-request mode covers table membership via :meth:`_jdict`;
+        atomic batches shallow-copy the table once on first touch (the
+        member window states are captured separately on their own first
+        touch).
+        """
+        ab = self._abatch
+        if ab is not None and ab.track and id(states) not in ab.seen:
+            ab.seen.add(id(states))
+            ab.dicts.append((states, dict(states)))
+
+    # ------------------------------------------------------------------
+    # batch lifecycle (atomic snapshots replace the per-request journal)
+    # ------------------------------------------------------------------
+    def supports_atomic_batches(self) -> bool:
+        return True
+
+    def _batch_begin(self, *, atomic: bool, top: bool,
+                     ephemeral: bool = False,
+                     emit_touched: bool = True) -> None:
+        super()._batch_begin(atomic=atomic, top=top, ephemeral=ephemeral,
+                             emit_touched=emit_touched)
+        if atomic:
+            self._batch.saved["poisoned"] = self._poisoned
+            self._abatch = _AtomicBatchLog(track=not ephemeral)
+
+    def _batch_commit(self) -> None:
+        super()._batch_commit()
+        ab, self._abatch = self._abatch, None
+        if ab is not None:
+            for iv in ab.journal_ivs:
+                iv.undo_log = None
+
+    def _batch_restore(self, ctx) -> None:
+        ab, self._abatch = self._abatch, None
+        # Replay the batch-wide interval journal backwards, then drop
+        # the intervals materialized mid-batch (their own undo entries
+        # restore dead objects, which is harmless).
+        for undo in reversed(ab.journal):
+            undo()
+        for iv in ab.journal_ivs:
+            iv.undo_log = None
+        for table, index in ab.created:
+            table.pop(index, None)
+        for ws, jobs, empty, covered in ab.windows:
             ws.jobs = jobs
             ws.backed_empty.restore(empty)
             ws.backed_covered.restore(covered)
-
-        journal.append(undo)
+        for d, snap in ab.dicts:
+            d.clear()
+            d.update(snap)
+        # Placement maps rewind from the batch-level touched log. Any
+        # slot now held by a job it did not hold pre-batch belongs to a
+        # touched job, so clearing touched jobs first cannot orphan an
+        # untouched occupant.
+        touched = ctx.touched
+        placements = self._placements
+        job_slot = self.job_slot
+        slot_job = self.slot_job
+        for job_id in touched:
+            pl = placements.pop(job_id, None)
+            if pl is not None:
+                del slot_job[pl.slot]
+                del job_slot[job_id]
+        for job_id, old in touched.items():
+            if old is not None:
+                placements[job_id] = old
+                job_slot[job_id] = old.slot
+                slot_job[old.slot] = job_id
+        # Job levels are a pure function of the span: rebuild them from
+        # the restored job set. Wholesale (O(n), abort-only) rather than
+        # incrementally, because a request that failed deep inside
+        # _apply_insert/_apply_delete mutated the map without being
+        # recorded in the batch's churn.
+        level_of = self.policy.level_of_span
+        self._job_levels = {
+            job_id: level_of(job.span) for job_id, job in self.jobs.items()
+        }
+        self._poisoned = ctx.saved["poisoned"]
 
     # ------------------------------------------------------------------
     # placement mutation (journal + sparse-cost log in one place)
     # ------------------------------------------------------------------
     def _set_placement(self, job_id: JobId, slot: int) -> None:
         self._log_touch(job_id)
-        self._jdict(self._placements, job_id)
-        self._jdict(self.job_slot, job_id)
-        self._jdict(self.slot_job, slot)
+        if self._journal is not None:
+            # atomic batches skip these: the placement maps rewind from
+            # the batch-level touched log instead (_batch_restore)
+            self._jdict(self._placements, job_id)
+            self._jdict(self.job_slot, job_id)
+            self._jdict(self.slot_job, slot)
         self.slot_job[slot] = job_id
         self.job_slot[job_id] = slot
         self._placements[job_id] = Placement(0, slot)
 
     def _clear_placement(self, job_id: JobId, slot: int) -> None:
         self._log_touch(job_id)
-        self._jdict(self._placements, job_id)
-        self._jdict(self.job_slot, job_id)
-        self._jdict(self.slot_job, slot)
+        if self._journal is not None:
+            self._jdict(self._placements, job_id)
+            self._jdict(self.job_slot, job_id)
+            self._jdict(self.slot_job, slot)
         del self.slot_job[slot]
         del self.job_slot[job_id]
         del self._placements[job_id]
@@ -324,6 +482,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         """
         states = self.window_states[level]
         self._jdict(states, window)
+        self._jstates_dict(states)
         ws = WindowState(window, level,
                          self.policy.intervals_of_window(level, window))
         levels = self._job_levels
@@ -371,6 +530,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             self._rebalance(iv)
         if ws.x == 0:
             self._jdict(states, window)
+            self._jstates_dict(states)
             del states[window]
 
     def _place(self, job_id: JobId, window: Window, level: int) -> None:
@@ -490,8 +650,9 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         for lv in range(level + 1, top + 1):
             iv = self.intervals[lv].get(self.policy.interval_index(lv, slot))
             if iv is not None:
-                self._jtouch(iv)
-                iv.slot_lowered(slot)
+                if slot not in iv.lower_occupied:
+                    self._jtouch(iv)
+                    iv.slot_lowered(slot)
                 self._rebalance(iv)
         if displaced is not None:
             self._place(displaced, self.jobs[displaced].window, displaced_level)
@@ -501,8 +662,9 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         for lv in range(level + 1, self.policy.num_reservation_levels + 1):
             iv = self.intervals[lv].get(self.policy.interval_index(lv, slot))
             if iv is not None:
-                self._jtouch(iv)
-                iv.slot_raised(slot)
+                if slot in iv.lower_occupied:
+                    self._jtouch(iv)
+                    iv.slot_raised(slot)
                 self._rebalance(iv)
 
     def _rebalance(self, iv: Interval) -> None:
@@ -607,6 +769,8 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         journal = self._journal
         if journal is not None:
             journal.append(lambda: table.pop(index, None))
+        elif self._abatch is not None and self._abatch.track:
+            self._abatch.created.append((table, index))
         table[index] = iv
         # Establish baseline fulfillments; a fresh interval has no
         # assignments, so nothing can be revoked.

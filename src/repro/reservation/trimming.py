@@ -128,11 +128,55 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         survivors = [job for jid, job in self.jobs.items()
                      if jid in self.inner.jobs]
         self.inner = AlignedReservationScheduler(self.policy, tracer=self.tracer)
+        ctx = self._batch
+        if ctx is not None:
+            # Inside an atomic batch the fresh inner is ephemeral: an
+            # abort restores the saved pre-batch inner and discards this
+            # one, so its rebuild inserts skip all rollback tracking.
+            # Its touched logs are suspended too — the wholesale
+            # pre-rebuild merge above already logged every survivor.
+            self.inner._batch_begin(atomic=ctx.atomic, top=False,
+                                    ephemeral=ctx.atomic or ctx.ephemeral,
+                                    emit_touched=False)
         # Deterministic rebuild order: short spans first, then by release.
         survivors.sort(key=lambda j: (j.span, j.release, str(j.id)))
         for job in survivors:
             eff = job.with_window(self.effective_window(job.window))
             self.inner.insert(eff)
+        if ctx is not None:
+            # Touched logs stay off only for the rebuild itself; later
+            # requests in the batch need them (their displacements must
+            # reach the wrappers' merged maps).
+            self.inner._batch.emit_touched = True
+
+    # ------------------------------------------------------------------
+    # batch lifecycle
+    # ------------------------------------------------------------------
+    #: placements pass through the inner scheduler, whose own abort
+    #: restores them — no batch touched log needed at this layer
+    _batch_restore_needs_touched = False
+
+    def supports_atomic_batches(self) -> bool:
+        return self.inner.supports_atomic_batches()
+
+    def _batch_begin(self, *, atomic: bool, top: bool,
+                     ephemeral: bool = False,
+                     emit_touched: bool = True) -> None:
+        super()._batch_begin(atomic=atomic, top=top, ephemeral=ephemeral,
+                             emit_touched=emit_touched)
+        if atomic and not ephemeral:
+            self._batch.saved["trim"] = (self.inner, self.n_star, self.rebuilds)
+        self.inner._batch_begin(atomic=atomic, top=False, ephemeral=ephemeral)
+
+    def _batch_commit(self) -> None:
+        super()._batch_commit()
+        self.inner._batch_commit()
+
+    def _batch_restore(self, ctx) -> None:
+        # If a rebuild replaced the inner mid-batch, the saved pre-batch
+        # inner swaps back and the replacement is simply dropped.
+        self.inner, self.n_star, self.rebuilds = ctx.saved["trim"]
+        self.inner._batch_abort()
 
     # ------------------------------------------------------------------
     @property

@@ -1,24 +1,37 @@
-"""The simulation driver: run request sequences through schedulers.
+"""The simulation driver: run request streams through schedulers.
 
 :func:`run_sequence` feeds a :class:`~repro.core.requests.RequestSequence`
 to any :class:`~repro.core.base.ReallocatingScheduler`, optionally
-verifying feasibility after every request (so every experiment doubles
-as a correctness audit) and optionally validating the reservation
-scheduler's internal invariants. It returns a :class:`RunResult` with
-the cost ledger and summary statistics.
+verifying feasibility (so every experiment doubles as a correctness
+audit) and optionally validating the reservation scheduler's internal
+invariants. It returns a :class:`RunResult` with the cost ledger and
+summary statistics.
+
+Batching is a first-class dimension: ``batch_size > 1`` chunks the
+stream with :func:`~repro.core.requests.iter_batches` and drives the
+scheduler through :meth:`~repro.core.base.ReallocatingScheduler.
+apply_batch` — one batch context per burst, feasibility checked once
+per commit (:meth:`~repro.sim.incremental.IncrementalVerifier.
+verify_batch`), and per-request costs still recorded exactly as the
+sequential path would (the batch-equivalence contract). With
+``atomic_batches=True`` every burst is all-or-nothing: a mid-batch
+failure rolls the whole burst back and ends the run with the scheduler
+in its pre-burst state. ``batch_size <= 1`` is the classic per-request
+loop.
 
 Timing is split by phase: ``scheduler_time_s`` covers only the
-``scheduler.apply`` calls (the honest per-request algorithm cost that
-throughput benchmarks must report), ``audit_time_s`` covers the
+``scheduler.apply``/``apply_batch`` calls (the honest algorithm cost
+that throughput benchmarks must report), ``audit_time_s`` covers the
 verify/validate hooks, and ``wall_time_s`` is the whole loop. Earlier
 revisions reported a single wall time that silently included the O(n)
 audits, contaminating every throughput number.
 
 Verification defaults to the *incremental* checker
 (:class:`~repro.sim.incremental.IncrementalVerifier`): O(changes) per
-request with periodic and final full audits, keeping verified runs
-within a small factor of unverified ones. Pass ``verify_mode="full"``
-for the legacy full re-verification after every request.
+request — or O(changed jobs) per batch commit — with periodic and final
+full audits, keeping verified runs within a small factor of unverified
+ones. Pass ``verify_mode="full"`` for the legacy full re-verification
+after every step.
 
 :func:`run_comparison` runs several schedulers over the same sequence
 and aligns their ledgers for head-to-head reporting.
@@ -33,7 +46,7 @@ from typing import Callable, Mapping, Sequence
 from ..core.base import ReallocatingScheduler
 from ..core.costs import CostLedger
 from ..core.exceptions import ReproError
-from ..core.requests import RequestSequence
+from ..core.requests import RequestSequence, iter_batches
 from .incremental import IncrementalVerifier
 
 
@@ -81,6 +94,8 @@ def run_sequence(
     scheduler: ReallocatingScheduler,
     sequence: RequestSequence,
     *,
+    batch_size: int = 1,
+    atomic_batches: bool = False,
     verify_each: bool = True,
     verify_mode: str = "incremental",
     full_audit_every: int = 256,
@@ -92,20 +107,28 @@ def run_sequence(
 
     Parameters
     ----------
+    batch_size:
+        Chunk the stream into bursts of this size and drive them
+        through ``apply_batch`` (1 = classic per-request loop).
+        Feasibility and invariant hooks then run once per batch commit.
+    atomic_batches:
+        With ``batch_size > 1``: apply each burst all-or-nothing; a
+        mid-batch failure rolls the burst back entirely.
     verify_each:
-        Check schedule feasibility after every request (default on; turn
-        off only for throughput benchmarks).
+        Check schedule feasibility after every request — or, when
+        batching, after every batch commit (default on; turn off only
+        for throughput benchmarks).
     verify_mode:
-        ``"incremental"`` (default) checks each request's placement
+        ``"incremental"`` (default) checks each step's placement
         changes in O(changes) and runs a full audit every
         ``full_audit_every`` requests plus once at the end;
-        ``"full"`` re-verifies the whole schedule after every request.
+        ``"full"`` re-verifies the whole schedule after every step.
     full_audit_every:
         Full-audit period for incremental mode (0 disables periodic
         audits; the final audit always runs).
     validate_each:
         Optional extra validator called with the scheduler after each
-        request (e.g. reservation invariant validation).
+        request / batch (e.g. reservation invariant validation).
     stop_on_error:
         If False, a scheduler failure (InfeasibleError or
         UnderallocationError) ends the run gracefully with
@@ -138,21 +161,40 @@ def run_sequence(
         )
 
     try:
-        for request in sequence:
-            ta = perf()
-            cost = scheduler.apply(request)
-            tb = perf()
-            sched_s += tb - ta
-            processed += 1
-            if verify_each:
-                if verifier is not None:
-                    verifier.observe(scheduler, cost)
-                else:
-                    _full_verify(scheduler, label, processed)
-            if validate_each is not None:
-                validate_each(scheduler)
-            if verify_each or validate_each is not None:
-                audit_s += perf() - tb
+        if batch_size > 1:
+            for batch in iter_batches(sequence, batch_size):
+                ta = perf()
+                result = scheduler.apply_batch(batch, atomic=atomic_batches)
+                tb = perf()
+                sched_s += tb - ta
+                processed += result.processed
+                if verify_each:
+                    if verifier is not None:
+                        verifier.verify_batch(scheduler, result)
+                    else:
+                        _full_verify(scheduler, label, processed)
+                if validate_each is not None:
+                    validate_each(scheduler)
+                if verify_each or validate_each is not None:
+                    audit_s += perf() - tb
+                if result.failed:
+                    raise result.error
+        else:
+            for request in sequence:
+                ta = perf()
+                cost = scheduler.apply(request)
+                tb = perf()
+                sched_s += tb - ta
+                processed += 1
+                if verify_each:
+                    if verifier is not None:
+                        verifier.observe(scheduler, cost)
+                    else:
+                        _full_verify(scheduler, label, processed)
+                if validate_each is not None:
+                    validate_each(scheduler)
+                if verify_each or validate_each is not None:
+                    audit_s += perf() - tb
         if verifier is not None:
             ta = perf()
             verifier.full_audit(scheduler)
@@ -179,6 +221,8 @@ def run_comparison(
     factories: Mapping[str, Callable[[], ReallocatingScheduler]],
     sequence: RequestSequence,
     *,
+    batch_size: int = 1,
+    atomic_batches: bool = False,
     verify_each: bool = True,
     verify_mode: str = "incremental",
     validate_each: Callable[[ReallocatingScheduler], None] | None = None,
@@ -189,6 +233,8 @@ def run_comparison(
     for label, factory in factories.items():
         results[label] = run_sequence(
             factory(), sequence,
+            batch_size=batch_size,
+            atomic_batches=atomic_batches,
             verify_each=verify_each,
             verify_mode=verify_mode,
             validate_each=validate_each,

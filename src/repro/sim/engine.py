@@ -15,6 +15,11 @@ request workloads while keeping measurements honest:
   engine records (and optionally reports through ``on_checkpoint``) the
   running request rate and phase split, so multi-minute sweeps are
   observable and a crash keeps partial measurements.
+- **Batch-first driving** — ``batch_size > 1`` chunks the stream into
+  :class:`~repro.core.requests.Batch` bursts applied through
+  ``apply_batch`` (optionally ``atomic_batches=True`` for
+  all-or-nothing bursts), with feasibility checked once per commit;
+  batching is a first-class dimension of every engine experiment.
 
 :func:`run_sweep` fans one or many schedulers across a dictionary of
 scenario sequences — the CLI's ``sweep`` command builds the scenario set
@@ -30,7 +35,7 @@ from typing import Callable, Mapping
 
 from ..core.base import ReallocatingScheduler
 from ..core.exceptions import ReproError
-from ..core.requests import RequestSequence
+from ..core.requests import RequestSequence, iter_batches
 from .incremental import IncrementalVerifier
 from .report import format_table
 
@@ -110,6 +115,8 @@ def run_engine(
     scheduler: ReallocatingScheduler,
     sequence: RequestSequence,
     *,
+    batch_size: int = 1,
+    atomic_batches: bool = False,
     verify: str = "incremental",
     full_audit_every: int = 1024,
     validator: Callable[[ReallocatingScheduler], None] | None = None,
@@ -123,6 +130,13 @@ def run_engine(
 
     Parameters
     ----------
+    batch_size:
+        Chunk the stream into bursts of this size and drive them
+        through ``apply_batch`` (1 = per-request loop). Verification
+        then checks once per batch commit, and the validator / the
+        checkpoint cadence fire on batch boundaries.
+    atomic_batches:
+        With ``batch_size > 1``: apply each burst all-or-nothing.
     verify:
         ``"incremental"`` (default), ``"full"``, or ``"off"``.
     full_audit_every:
@@ -172,30 +186,59 @@ def run_engine(
             checkpoints=checkpoints,
         )
 
-    try:
-        for request in sequence:
-            ta = perf()
-            cost = scheduler.apply(request)
-            tb = perf()
-            sched_s += tb - ta
-            processed += 1
-            if verifier is not None:
-                verifier.observe(scheduler, cost)
-                verify_s += perf() - tb
-            elif verify == "full":
-                from ..core.schedule import verify_schedule
+    def full_verify() -> None:
+        from ..core.schedule import verify_schedule
 
-                verify_schedule(scheduler.jobs, scheduler.placements,
-                                scheduler.num_machines,
-                                where=f"{label} after request {processed}")
-                verify_s += perf() - tb
-            if (validator is not None and validate_every
-                    and processed % validate_every == 0):
-                tc = perf()
-                validator(scheduler)
-                validate_s += perf() - tc
-            if checkpoint_every and processed % checkpoint_every == 0:
-                checkpoint()
+        verify_schedule(scheduler.jobs, scheduler.placements,
+                        scheduler.num_machines,
+                        where=f"{label} after request {processed}")
+
+    last_marker = 0
+
+    def periodic_hooks() -> None:
+        """Validator + checkpoint on their request cadences."""
+        nonlocal last_marker, validate_s
+        if (validator is not None and validate_every
+                and processed // validate_every > last_marker // validate_every):
+            tc = perf()
+            validator(scheduler)
+            validate_s += perf() - tc
+        if (checkpoint_every
+                and processed // checkpoint_every > last_marker // checkpoint_every):
+            checkpoint()
+        last_marker = processed
+
+    try:
+        if batch_size > 1:
+            for batch in iter_batches(sequence, batch_size):
+                ta = perf()
+                result = scheduler.apply_batch(batch, atomic=atomic_batches)
+                tb = perf()
+                sched_s += tb - ta
+                processed += result.processed
+                if verifier is not None:
+                    verifier.verify_batch(scheduler, result)
+                    verify_s += perf() - tb
+                elif verify == "full":
+                    full_verify()
+                    verify_s += perf() - tb
+                periodic_hooks()
+                if result.failed:
+                    raise result.error
+        else:
+            for request in sequence:
+                ta = perf()
+                cost = scheduler.apply(request)
+                tb = perf()
+                sched_s += tb - ta
+                processed += 1
+                if verifier is not None:
+                    verifier.observe(scheduler, cost)
+                    verify_s += perf() - tb
+                elif verify == "full":
+                    full_verify()
+                    verify_s += perf() - tb
+                periodic_hooks()
         if verifier is not None:
             ta = perf()
             verifier.full_audit(scheduler)
@@ -211,6 +254,8 @@ def run_sweep(
     scenarios: Mapping[str, RequestSequence],
     factories: Mapping[str, Callable[[], ReallocatingScheduler]],
     *,
+    batch_size: int = 1,
+    atomic_batches: bool = False,
     verify: str = "incremental",
     full_audit_every: int = 1024,
     checkpoint_every: int = 0,
@@ -225,6 +270,8 @@ def run_sweep(
                     else (lambda cp, _l=label: on_checkpoint(_l, cp)))
             results[(scen_name, sched_name)] = run_engine(
                 factory(), sequence,
+                batch_size=batch_size,
+                atomic_batches=atomic_batches,
                 verify=verify,
                 full_audit_every=full_audit_every,
                 checkpoint_every=checkpoint_every,

@@ -25,7 +25,7 @@ mirror against the scheduler's placement map; the driver runs it every
 from __future__ import annotations
 
 from ..core.base import ReallocatingScheduler
-from ..core.costs import RequestCost
+from ..core.costs import BatchResult, RequestCost
 from ..core.exceptions import ValidationError
 from ..core.job import Job, JobId, Placement
 from ..core.schedule import verify_schedule
@@ -63,7 +63,35 @@ class IncrementalVerifier:
         """Check one request's placement changes and update the mirror."""
         self.requests_seen += 1
         where = f"{self.where} after request {self.requests_seen}"
-        changed = (cost.subject, *cost.rescheduled)
+        self._check_changed(scheduler, (cost.subject, *cost.rescheduled), where)
+        if (self.full_audit_every
+                and self.requests_seen % self.full_audit_every == 0):
+            self.full_audit(scheduler)
+
+    def verify_batch(self, scheduler: ReallocatingScheduler,
+                     result: "BatchResult") -> None:
+        """Check one committed batch's net placement changes.
+
+        A batch is a transaction: feasibility is checked once at commit
+        over the union of every request's changed jobs, instead of once
+        per request. A rolled-back atomic batch left no changes, so only
+        the committed prefix is checked. Periodic full audits fire on
+        the same request cadence as per-request observation.
+        """
+        before = self.requests_seen
+        self.requests_seen += result.processed
+        if result.processed:
+            where = (f"{self.where} after batch commit at request "
+                     f"{self.requests_seen}")
+            self._check_changed(scheduler, result.changed_jobs(), where)
+        if (self.full_audit_every
+                and self.requests_seen // self.full_audit_every
+                > before // self.full_audit_every):
+            self.full_audit(scheduler)
+
+    def _check_changed(self, scheduler: ReallocatingScheduler,
+                       changed, where: str) -> None:
+        """Release + re-admit the changed jobs against the mirror."""
         placements = scheduler.placements
         jobs = scheduler.jobs
 
@@ -120,9 +148,6 @@ class IncrementalVerifier:
                 f"scheduler reports {len(placements)} — a placement changed "
                 "without being reported in the request cost"
             )
-        if (self.full_audit_every
-                and self.requests_seen % self.full_audit_every == 0):
-            self.full_audit(scheduler)
 
     # ------------------------------------------------------------------
     def full_audit(self, scheduler: ReallocatingScheduler) -> None:

@@ -9,6 +9,7 @@ from .scenarios import (
     SCENARIOS,
     adversarial_span_mix_sequence,
     appointment_book_sequence,
+    burst_arrivals_sequence,
     churn_storm_sequence,
     cluster_trace_sequence,
     steady_state_sequence,
@@ -24,4 +25,5 @@ __all__ = [
     "churn_storm_sequence",
     "adversarial_span_mix_sequence",
     "steady_state_sequence",
+    "burst_arrivals_sequence",
 ]

@@ -27,6 +27,10 @@ requests):
 - :func:`steady_state_sequence` — long-horizon steady state: ramp up to
   a target active population, then hold it with balanced insert/delete
   churn — the regime where per-request cost must stay flat (Theorem 1).
+- :func:`burst_arrivals_sequence` — batch-shaped traffic: whole insert
+  bursts (biased toward a shared focus window) alternating with whole
+  delete bursts, sized to match an ``apply_batch`` batch — the native
+  workload of the batch-first request API.
 
 All generators enforce a target underallocation with the
 interval-density certificate so the reservation scheduler's assumptions
@@ -312,6 +316,78 @@ def adversarial_span_mix_sequence(
     return seq
 
 
+def burst_arrivals_sequence(
+    *,
+    requests: int = 20_000,
+    horizon: int = 1 << 14,
+    max_span: int = 1 << 12,
+    burst_size: int = 64,
+    same_window_bias: float = 0.5,
+    delete_burst_fraction: float = 0.4,
+    gamma: int = 8,
+    num_machines: int = 1,
+    seed: int = 0,
+) -> RequestSequence:
+    """Batch-shaped traffic: whole bursts of inserts, whole bursts of deletes.
+
+    The batch-first request API serves traffic that arrives in bursts;
+    this generator emits exactly that shape so batching is a first-class
+    dimension of the experiments: each step is either an insert burst of
+    ``burst_size`` requests (a ``same_window_bias`` fraction of which
+    reuse one focus window, stressing the delegator's per-window
+    grouping and the round-robin continuation) or a delete burst
+    clearing a random ``delete_burst_fraction`` slice of the active set
+    back-to-back. Feed it to ``run_engine(batch_size=burst_size)`` for
+    aligned burst/batch boundaries.
+    """
+    rng = np.random.default_rng(seed)
+    tree = LaminarLoadTree(horizon)
+    seq = RequestSequence()
+    active: list[str] = []
+    uid = [0]
+    hi_exp = max_span.bit_length() - 1
+    while len(seq) < requests:
+        do_delete = (active
+                     and rng.random() < 0.45
+                     and len(active) > burst_size)
+        if do_delete:
+            burst = min(len(active),
+                        max(1, int(len(active) * delete_burst_fraction)),
+                        burst_size)
+            for _ in range(burst):
+                if len(seq) >= requests or not active:
+                    break
+                victim = active.pop(int(rng.integers(len(active))))
+                tree.remove(victim)
+                seq.append(DeleteJob(victim))
+            continue
+        # insert burst around a focus window
+        focus_exp = int(rng.integers(0, hi_exp + 1))
+        focus_span = 1 << focus_exp
+        focus_start = int(rng.integers(0, horizon // focus_span)) * focus_span
+        focus = (focus_start, focus_start + focus_span)
+        for _ in range(burst_size):
+            if len(seq) >= requests:
+                break
+            if rng.random() < same_window_bias:
+                ok = _try_insert(rng, tree, seq, active, horizon=horizon,
+                                 span_exps=(focus_exp, focus_exp),
+                                 num_machines=num_machines, gamma=gamma,
+                                 uid=uid, prefix="b", region=focus, tries=4)
+                if ok:
+                    continue
+            if not _try_insert(rng, tree, seq, active, horizon=horizon,
+                               span_exps=(0, hi_exp),
+                               num_machines=num_machines, gamma=gamma,
+                               uid=uid, prefix="b"):
+                if not active:
+                    raise RuntimeError("burst arrivals saturated with no jobs")
+                victim = active.pop(int(rng.integers(len(active))))
+                tree.remove(victim)
+                seq.append(DeleteJob(victim))
+    return seq
+
+
 def steady_state_sequence(
     *,
     requests: int = 50_000,
@@ -366,6 +442,8 @@ SCENARIOS = {
     "churn-storm": lambda requests, seed, num_machines: churn_storm_sequence(
         requests=requests, seed=seed, num_machines=num_machines),
     "adversarial-mix": lambda requests, seed, num_machines: adversarial_span_mix_sequence(
+        requests=requests, seed=seed, num_machines=num_machines),
+    "burst-arrivals": lambda requests, seed, num_machines: burst_arrivals_sequence(
         requests=requests, seed=seed, num_machines=num_machines),
     "steady-state": lambda requests, seed, num_machines: steady_state_sequence(
         requests=requests, seed=seed, num_machines=num_machines,
