@@ -10,11 +10,17 @@ Public API quick reference
   scheduler (Lemma 4), the per-request-optimal matcher.
 - :mod:`repro.workloads` / :mod:`repro.adversaries` — request-sequence
   generators, including the paper's lower-bound constructions.
-- :mod:`repro.sim` — the driver that feeds requests to schedulers while
-  verifying feasibility after every request and ledgering costs.
+- :mod:`repro.sim` — the unified execution API: one
+  :class:`~repro.sim.session.Session` drive loop with pluggable
+  backends (sequential / batched / sharded per-machine workers),
+  feasibility verification, phase-split timing, and resumable JSONL
+  traces; ``run_sequence``/``run_engine``/``run_sweep`` are thin
+  adapters over it.
 - :class:`repro.Batch` / :class:`repro.BatchResult` — the batch-first
   request surface: ``scheduler.apply_batch(batch, atomic=True)``
-  applies a whole burst transactionally under one cost/journal context.
+  applies a whole burst transactionally under one cost/journal context;
+  delegating stacks additionally offer ``apply_batch_sharded`` (one
+  shard worker per machine, merged touched logs).
 """
 
 from .core import (

@@ -16,8 +16,18 @@ Commands
 - ``bounds`` — print the paper's bound values at given parameters.
 
 ``demo``, ``engine``, and ``sweep`` accept ``--batch-size N`` (drive
-requests through the transactional ``apply_batch`` API in bursts of N)
-and ``--atomic-batches`` (all-or-nothing bursts).
+requests through the transactional ``apply_batch`` API in bursts of N),
+``--atomic-batches`` (all-or-nothing bursts), and ``--backend
+{auto,sequential,batched,sharded}`` — the session drive backend;
+``sharded`` fans each burst out to per-machine shard workers on
+delegating scheduler stacks (add ``--shard-parallel`` for a thread-pool
+worker per machine).
+
+``engine`` and ``sweep`` support resumable runs: ``--trace FILE`` /
+``--trace-dir DIR`` write the session's JSONL checkpoint trace,
+``--stop-after N`` ends a run gracefully mid-stream, and ``--resume``
+continues from the last checkpoint (completed sweep cells are read
+back from their traces without re-running).
 """
 
 from __future__ import annotations
@@ -82,12 +92,16 @@ def cmd_demo(args) -> int:
     seq = _make_workload(args)
     sched = ReservationScheduler(args.machines, gamma=8)
     result = run_sequence(sched, seq, batch_size=args.batch_size,
-                          atomic_batches=args.atomic_batches)
+                          atomic_batches=args.atomic_batches,
+                          backend=args.backend,
+                          shard_parallel=args.shard_parallel)
     rows = [[k, v] for k, v in result.summary.items()]
     title = f"Theorem 1 scheduler on {len(seq)} requests"
     if args.batch_size > 1:
         title += (f", batch={args.batch_size}"
                   f"{' atomic' if args.atomic_batches else ''}")
+    if args.backend != "auto":
+        title += f", backend={args.backend}"
     print(format_table(["metric", "value"], rows, title=title))
     return 0
 
@@ -138,9 +152,14 @@ def cmd_engine(args) -> int:
         sched, seq,
         batch_size=args.batch_size,
         atomic_batches=args.atomic_batches,
+        backend=args.backend,
+        shard_parallel=args.shard_parallel,
         verify=args.verify,
         checkpoint_every=args.checkpoint_every,
         on_checkpoint=progress if args.checkpoint_every else None,
+        stop_after=args.stop_after,
+        trace_path=args.trace or None,
+        resume=args.resume,
         name=f"{args.scenario}/{args.scheduler}",
     )
     rows = [[k, v] for k, v in result.summary.items()]
@@ -149,7 +168,9 @@ def cmd_engine(args) -> int:
                              f"{len(seq)} requests"
                              + (f", batch={args.batch_size}"
                                 f"{' atomic' if args.atomic_batches else ''}"
-                                if args.batch_size > 1 else "")))
+                                if args.batch_size > 1 else "")
+                             + (f", backend={result.backend}"
+                                if args.backend != "auto" else "")))
     return 1 if result.failed else 0
 
 
@@ -174,11 +195,17 @@ def cmd_sweep(args) -> int:
     }
     results = run_sweep(scenarios, factories, verify=args.verify,
                         batch_size=args.batch_size,
-                        atomic_batches=args.atomic_batches)
+                        atomic_batches=args.atomic_batches,
+                        backend=args.backend,
+                        shard_parallel=args.shard_parallel,
+                        stop_after=args.stop_after,
+                        trace_dir=args.trace_dir or None,
+                        resume=args.resume)
     print(sweep_table(
         results,
         title=f"scenario sweep: {args.requests} requests/cell, "
-              f"m={args.machines}, seed={args.seed}, verify={args.verify}",
+              f"m={args.machines}, seed={args.seed}, verify={args.verify}"
+              + (f", backend={args.backend}" if args.backend != "auto" else ""),
     ))
     return 1 if any(r.failed for r in results.values()) else 0
 
@@ -246,6 +273,32 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="atomic_batches",
                        help="apply each batch all-or-nothing (rolls the "
                             "whole burst back on a mid-batch failure)")
+        p.add_argument("--backend", default="auto",
+                       choices=["auto", "sequential", "batched", "sharded"],
+                       help="session drive backend; 'sharded' hands each "
+                            "burst's per-machine sub-batches to shard "
+                            "workers (delegating stacks only)")
+        p.add_argument("--shard-parallel", action="store_true",
+                       dest="shard_parallel",
+                       help="sharded backend: one thread-pool worker per "
+                            "machine instead of serial workers")
+
+    def add_trace_args(p, directory=False):
+        if directory:
+            p.add_argument("--trace-dir", default="", dest="trace_dir",
+                           help="write one JSONL session trace per sweep "
+                                "cell into this directory")
+        else:
+            p.add_argument("--trace", default="",
+                           help="write the session's JSONL checkpoint "
+                                "trace to this file")
+        p.add_argument("--resume", action="store_true",
+                       help="continue from the trace's last checkpoint "
+                            "(deterministic prefix replay)")
+        p.add_argument("--stop-after", type=int, default=0,
+                       dest="stop_after",
+                       help="end the run gracefully after this many "
+                            "requests this session (0 = run to the end)")
 
     p = sub.add_parser("demo", help="run the Theorem 1 scheduler once")
     add_workload_args(p)
@@ -271,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-every", type=int, default=0,
                    dest="checkpoint_every")
     add_batch_args(p)
+    add_trace_args(p)
     p.set_defaults(func=cmd_engine)
 
     p = sub.add_parser("sweep", help="run every scenario x scheduler cell")
@@ -284,6 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", default="incremental",
                    choices=["incremental", "full", "off"])
     add_batch_args(p)
+    add_trace_args(p, directory=True)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("generate", help="emit a workload trace as JSON")

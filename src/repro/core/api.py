@@ -23,14 +23,17 @@ migration.
 from __future__ import annotations
 
 from collections import deque
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from ..alignment.align import align_job
 from ..levels.policy import LevelPolicy, PAPER_POLICY
 from ..multimachine.delegation import DelegatingScheduler
 from ..reservation.trimming import TrimmedReservationScheduler
 from .base import ReallocatingScheduler
+from .costs import BatchResult, RequestCost
+from .exceptions import InvalidRequestError
 from .job import Job, JobId, Placement
+from .requests import Batch, InsertJob, Request
 
 
 class ReservationScheduler(ReallocatingScheduler):
@@ -157,6 +160,74 @@ class ReservationScheduler(ReallocatingScheduler):
     def _batch_restore(self, ctx) -> None:
         self._align_memo = {}
         self.delegator._batch_abort()
+
+    # ------------------------------------------------------------------
+    # sharded bursts
+    # ------------------------------------------------------------------
+    def supports_sharded_batches(self) -> bool:
+        return self.delegator.supports_sharded_batches()
+
+    def apply_batch_sharded(
+        self,
+        requests: Batch | Iterable[Request],
+        *,
+        parallel: bool = False,
+    ) -> BatchResult:
+        """Drive a burst shard-first through the delegation layer.
+
+        The alignment step is a pure per-job function, so the whole
+        burst is pre-aligned here and handed to
+        :meth:`~repro.multimachine.delegation.DelegatingScheduler.
+        apply_batch_sharded`; this layer then re-costs each request
+        against its own view (original jobs, hence original — not
+        aligned — max spans) exactly as sequential processing would,
+        keeping ledger entries bit-identical to ``apply``/``apply_batch``.
+        """
+        batch = requests if isinstance(requests, Batch) else Batch(requests)
+        if self._batch is not None:
+            raise InvalidRequestError(
+                "apply_batch_sharded cannot run inside an open batch")
+        aligned = Batch([
+            InsertJob(align_job(r.job)) if isinstance(r, InsertJob) else r
+            for r in batch
+        ])
+        inner = self.delegator.apply_batch_sharded(
+            aligned, parallel=parallel, record=False)
+        if inner.failed:
+            return BatchResult(
+                costs=[], net=None, size=len(batch), atomic=True,
+                failed=True, failed_index=inner.failed_index,
+                failure=inner.failure, rolled_back=True, error=inner.error,
+            )
+        costs = []
+        for request, inner_cost in zip(batch, inner.costs):
+            if isinstance(request, InsertJob):
+                job = request.job
+                self.jobs[job.id] = job
+                self._span_add(job.span)
+                n_active, max_span = len(self.jobs), self._max_span_cache
+            else:
+                job = self.jobs[request.job_id]
+                n_active, max_span = len(self.jobs), self._max_span_cache
+                del self.jobs[request.job_id]
+                self._span_remove(job.span)
+            cost = RequestCost(
+                kind=inner_cost.kind, subject=inner_cost.subject,
+                rescheduled=inner_cost.rescheduled,
+                migrated=inner_cost.migrated,
+                n_active=n_active, max_span=max_span,
+            )
+            self.ledger.record(cost)
+            costs.append(cost)
+        net = inner.net
+        if net is not None:
+            net = RequestCost(
+                kind=net.kind, subject=net.subject,
+                rescheduled=net.rescheduled, migrated=net.migrated,
+                n_active=len(self.jobs), max_span=self._max_span_cache,
+            )
+        self.last_touched = None
+        return BatchResult(costs=costs, net=net, size=len(batch), atomic=True)
 
     # ------------------------------------------------------------------
     def check_balance(self) -> None:

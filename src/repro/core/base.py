@@ -409,6 +409,35 @@ class ReallocatingScheduler(abc.ABC):
         """Whether this scheduler (stack) can restore pre-batch state."""
         return False
 
+    # ------------------------------------------------------------------
+    # sharded-drive hook points (overridden by delegating stacks)
+    # ------------------------------------------------------------------
+    def supports_sharded_batches(self) -> bool:
+        """Whether bursts can be driven shard-first (per-machine workers).
+
+        Schedulers that split work across per-machine sub-schedulers
+        (the delegation layer and stacks wrapping it) override this
+        together with :meth:`apply_batch_sharded`; the sharded drive
+        backend in :mod:`repro.sim.session` keys off it.
+        """
+        return False
+
+    def apply_batch_sharded(
+        self,
+        requests: Batch | Iterable[Request],
+        *,
+        parallel: bool = False,
+    ) -> BatchResult:
+        """Apply a burst via per-shard workers (delegating stacks only).
+
+        Semantics match :meth:`apply_batch` with ``atomic=True`` applied
+        per burst: identical placements, ledger entries, and max-span
+        tracking, with whole-burst rollback on any shard failure.
+        """
+        raise InvalidRequestError(
+            f"{type(self).__name__} does not support sharded batches"
+        )
+
     def _batch_prepare(self, inserts: list[Job]) -> None:
         """Hook: plan the batch from its insert jobs (grouping, memos)."""
 

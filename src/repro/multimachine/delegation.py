@@ -16,17 +16,57 @@ Lemma 3 guarantees each machine's sub-instance stays 1-machine
 underallocated (losing a factor 6) when the full instance is; the
 delegator is scheduler-agnostic and works over any per-machine
 :class:`~repro.core.base.ReallocatingScheduler` factory.
+
+Sharded burst execution: because machines never share scheduler state
+(the balancer is the only coupling, and it is pure bookkeeping), a whole
+burst can be resolved up front into independent per-machine op streams
+(:meth:`DelegatingScheduler.plan_shard_execution` — the richer sibling
+of :meth:`DelegatingScheduler.machine_sub_batches`) and applied by one
+:class:`ShardWorker` per machine, serially or on a thread pool.
+:meth:`DelegatingScheduler.apply_batch_sharded` then merges the
+per-shard touched-placement logs back into the machine-tagged placement
+map, balancer, and ledger in global request order — bit-identical to
+sequential processing, with whole-burst rollback on any shard failure.
+The sharded drive backend (:mod:`repro.sim.session`) is its consumer.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Mapping
 
 from ..core.base import ReallocatingScheduler
+from ..core.costs import BatchResult, diff_touched
+from ..core.exceptions import InvalidRequestError, ReproError
 from ..core.job import Job, JobId, Placement
 from ..core.requests import Batch, DeleteJob, InsertJob, Request
 from ..core.window import Window
+
+_NOT_SEEN = object()
+
+
+def _changed_ids(sub: ReallocatingScheduler, cost,
+                 subject: JobId) -> tuple[JobId, ...]:
+    """Ids whose placement a sub-request may have changed.
+
+    A sparse sub-scheduler's ``last_touched`` names every job whose
+    placement it may have changed (batch mode suspends sub-costs, so
+    the touched log is the one signal available in both modes); a
+    non-sparse sub reports them via ``cost.subject`` +
+    ``cost.rescheduled``. The request's subject is included explicitly
+    — a trimming rebuild suspends its inner touched logs, so the
+    triggering job may be absent from them. Shared by the live merge
+    (:meth:`DelegatingScheduler._sync_machine`) and the deferred one
+    (:class:`ShardWorker`), whose equivalence depends on reading the
+    same set.
+    """
+    changed = sub.last_touched
+    if changed is None:
+        return (cost.subject, *cost.rescheduled)
+    if subject not in changed:
+        return (subject, *changed)
+    return tuple(changed)
 
 
 class WindowBalancer:
@@ -193,6 +233,101 @@ class WindowBalancer:
                 )
 
 
+class ShardOp:
+    """One per-machine operation of a planned sharded burst.
+
+    ``req_index`` ties the op back to the batch request that caused it
+    (a rebalancing migration contributes a delete op on the donor shard
+    and an insert op on the receiving shard, both tagged with the
+    triggering delete's index). The worker fills ``changed`` / ``post``
+    while applying: the ids whose sub-placement the op changed and their
+    post-op sub-level placements — the raw material of the merge phase.
+    """
+
+    __slots__ = ("req_index", "machine", "insert", "job", "job_id",
+                 "changed", "post")
+
+    def __init__(self, req_index: int, machine: int, insert: bool,
+                 job: Job | None, job_id: JobId) -> None:
+        self.req_index = req_index
+        self.machine = machine
+        self.insert = insert
+        self.job = job
+        self.job_id = job_id
+        self.changed: tuple[JobId, ...] = ()
+        self.post: dict[JobId, Placement | None] = {}
+
+
+class PlannedRequest:
+    """One batch request resolved to its shard ops and balancer effects."""
+
+    __slots__ = ("kind", "subject", "job", "ops", "balancer_ops")
+
+    def __init__(self, kind: str, subject: JobId, job: Job | None,
+                 ops: list[ShardOp], balancer_ops: list[tuple]) -> None:
+        self.kind = kind
+        self.subject = subject
+        self.job = job
+        self.ops = ops
+        self.balancer_ops = balancer_ops
+
+
+class ShardPlan:
+    """A burst split into independent per-machine op streams.
+
+    ``requests`` holds the global-order view (one entry per batch
+    request); ``per_machine`` the same ops partitioned by shard, each
+    shard's list in global op order. The two views share the
+    :class:`ShardOp` objects, so worker results are visible to the
+    merge phase without any copying.
+    """
+
+    __slots__ = ("requests", "per_machine")
+
+    def __init__(self, requests: list[PlannedRequest],
+                 per_machine: dict[int, list[ShardOp]]) -> None:
+        self.requests = requests
+        self.per_machine = per_machine
+
+
+class ShardWorker:
+    """Applies one machine's op stream to its single-machine scheduler.
+
+    Workers are mutually independent: each touches only its own
+    sub-scheduler (whose atomic batch context the caller opened), so m
+    workers can run serially or on a thread pool with identical
+    results. Per op the worker records exactly what
+    :meth:`DelegatingScheduler._sync_machine` would read live — the
+    changed job ids (``last_touched`` for sparse subs, the request cost
+    for non-sparse ones, the subject always included) and their post-op
+    sub placements. A :class:`~repro.core.exceptions.ReproError` stops
+    the worker and is reported in :attr:`failure` for the coordinator's
+    all-shard abort.
+    """
+
+    def __init__(self, machine: int, sub: ReallocatingScheduler,
+                 ops: list[ShardOp]) -> None:
+        self.machine = machine
+        self.sub = sub
+        self.ops = ops
+        self.failure: tuple[int, ReproError] | None = None
+
+    def run(self) -> None:
+        sub = self.sub
+        for op in self.ops:
+            try:
+                if op.insert:
+                    cost = sub.insert(op.job)
+                else:
+                    cost = sub.delete(op.job_id)
+            except ReproError as exc:
+                self.failure = (op.req_index, exc)
+                return
+            sub_placements = sub.placements
+            op.changed = _changed_ids(sub, cost, op.job_id)
+            op.post = {jid: sub_placements.get(jid) for jid in op.changed}
+
+
 class DelegatingScheduler(ReallocatingScheduler):
     """m-machine scheduler: per-window round-robin over single-machine schedulers.
 
@@ -235,23 +370,13 @@ class DelegatingScheduler(ReallocatingScheduler):
     def _sync_machine(self, machine: int, cost, subject: JobId) -> None:
         """Mirror one sub-request's placement changes into the merged map.
 
-        A sparse sub-scheduler's ``last_touched`` names every job whose
-        placement it may have changed (batch mode suspends sub-costs, so
-        the touched log is the one signal available in both modes); a
-        non-sparse sub reports them via ``cost.subject`` +
-        ``cost.rescheduled``. The request's subject is synced explicitly
-        — a trimming rebuild suspends its inner touched logs, so the
-        triggering job may be absent from them. Either way the merged
-        map stays O(changes) per request.
+        The changed set comes from :func:`_changed_ids` (shared with the
+        sharded merge path); syncing it keeps the merged map O(changes)
+        per request.
         """
         sub = self.machines[machine]
-        changed = sub.last_touched
-        if changed is None:
-            changed = (cost.subject, *cost.rescheduled)
-        elif subject not in changed:
-            changed = (subject, *changed)
         sub_placements = sub.placements
-        for job_id in changed:
+        for job_id in _changed_ids(sub, cost, subject):
             self._log_touch(job_id)
             pl = sub_placements.get(job_id)
             if pl is None:
@@ -322,44 +447,288 @@ class DelegatingScheduler(ReallocatingScheduler):
     ) -> dict[int, list[Request]]:
         """Split a batch into the per-machine sub-batches it would drive.
 
-        Planning only — nothing is applied. The batch's effect on each
-        window's round-robin position is simulated request by request
-        (inserts advance it, deletes retract it), so every insert lands
-        on exactly the machine ``apply_batch`` would choose. Deletes go
-        to the machine holding the job — for jobs inserted earlier in
-        the same batch, the machine just planned for them; rebalancing
-        migrations that deletes may trigger are decided at apply time
-        and are not part of the split. This is the consumption shape
-        the multimachine sharding layer will use: one sub-batch per
-        shard worker.
+        Planning only — nothing is applied. A thin view over
+        :meth:`plan_shard_execution`: every insert lands on exactly the
+        machine ``apply_batch`` would choose and deletes go to the
+        machine holding the job (including machines reached by earlier
+        in-batch migrations). Rebalancing migrations themselves are not
+        part of this view — :class:`ShardPlan` carries them as extra
+        shard ops. This is what the sharded drive backend consumes: one
+        sub-batch per shard worker.
+        """
+        batch = requests if isinstance(requests, Batch) else Batch(requests)
+        plan = self.plan_shard_execution(batch)
+        out: dict[int, list[Request]] = {i: [] for i in range(self.num_machines)}
+        for request, planned in zip(batch, plan.requests):
+            out[planned.ops[0].machine].append(request)
+        return out
+
+    def plan_shard_execution(
+        self, requests: Batch | Iterable[Request],
+    ) -> ShardPlan:
+        """Resolve a burst into independent per-machine op streams.
+
+        The whole burst is simulated against copy-on-first-touch
+        overlays of the balancer's per-window counts and memberships:
+        inserts advance each window's round-robin position, deletes
+        retract it and — exactly as :meth:`WindowBalancer.plan_delete`
+        would at apply time — pick the donor machine and migrating job,
+        so cross-shard rebalancing migrations become an explicit
+        (delete-on-donor, insert-on-receiver) op pair. Because machines
+        never share scheduler state (the balancer is the only coupling,
+        and it is fully simulated here), each machine's op stream can
+        be applied independently and still reproduce sequential
+        execution bit for bit.
+
+        Raises :class:`InvalidRequestError` for protocol violations
+        (insert of an active id, delete of an inactive id) — nothing
+        has been applied at that point.
         """
         batch = requests if isinstance(requests, Batch) else Batch(requests)
         m = self.num_machines
+        balancer = self.balancer
         counts: dict[Window, int] = {}
-        planned: dict[JobId, tuple[Window, int]] = {}
-        out: dict[int, list[Request]] = {i: [] for i in range(m)}
-        for request in batch:
+        members: dict[Window, list[set[JobId]]] = {}
+        #: overlay of (window, machine) per job; None = deleted in batch
+        where: dict[JobId, tuple[Window, int] | None] = {}
+        batch_jobs: dict[JobId, Job] = {}
+
+        def sim_count(window: Window) -> int:
+            c = counts.get(window)
+            if c is None:
+                c = balancer.count(window)
+                counts[window] = c
+            return c
+
+        def sim_members(window: Window) -> list[set[JobId]]:
+            ms = members.get(window)
+            if ms is None:
+                live = balancer._members.get(window)
+                ms = ([set(s) for s in live] if live is not None
+                      else [set() for _ in range(m)])
+                members[window] = ms
+            return ms
+
+        planned: list[PlannedRequest] = []
+        for index, request in enumerate(batch):
             if isinstance(request, InsertJob):
-                window = request.job.window
-                count = counts.get(window)
-                if count is None:
-                    count = self.balancer.count(window)
-                machine = count % m
-                counts[window] = count + 1
-                planned[request.job.id] = (window, machine)
+                job = request.job
+                jid = job.id
+                if where.get(jid) is not None or (
+                        jid not in where and jid in self.jobs):
+                    raise InvalidRequestError(f"job {jid!r} already active")
+                w = job.window
+                c = sim_count(w)
+                machine = c % m
+                counts[w] = c + 1
+                sim_members(w)[machine].add(jid)
+                where[jid] = (w, machine)
+                batch_jobs[jid] = job
+                planned.append(PlannedRequest(
+                    "insert", jid, job,
+                    [ShardOp(index, machine, True, job, jid)],
+                    [("ins", jid, w, machine)],
+                ))
             else:
-                plan = planned.pop(request.job_id, None)
-                if plan is not None:
-                    window, machine = plan
+                jid = request.job_id
+                spot = where.get(jid, _NOT_SEEN)
+                if spot is _NOT_SEEN:
+                    spot = balancer._where.get(jid)
+                if spot is None:
+                    raise InvalidRequestError(f"job {jid!r} not active")
+                w, machine = spot
+                c = sim_count(w)
+                mem = sim_members(w)
+                donor = (c - 1) % m
+                mover: JobId | None = None
+                if donor != machine:
+                    candidates = mem[donor] - {jid}
+                    if not candidates:  # pragma: no cover - invariant
+                        raise AssertionError(
+                            f"balance invariant broken: donor machine {donor} "
+                            f"holds no job with window {w}"
+                        )
+                    mover = min(candidates, key=str)
+                counts[w] = c - 1
+                mem[machine].discard(jid)
+                where[jid] = None
+                ops = [ShardOp(index, machine, False, None, jid)]
+                balancer_ops: list[tuple] = [("del", jid)]
+                if mover is not None:
+                    mover_job = batch_jobs.get(mover)
+                    if mover_job is None:
+                        mover_job = self.jobs[mover]
+                    ops.append(ShardOp(index, donor, False, None, mover))
+                    ops.append(ShardOp(index, machine, True, mover_job, mover))
+                    balancer_ops.append(("mig", mover, machine))
+                    mem[donor].discard(mover)
+                    mem[machine].add(mover)
+                    where[mover] = (w, machine)
+                planned.append(PlannedRequest(
+                    "delete", jid, None, ops, balancer_ops))
+        per_machine: dict[int, list[ShardOp]] = {i: [] for i in range(m)}
+        for pr in planned:
+            for op in pr.ops:
+                per_machine[op.machine].append(op)
+        return ShardPlan(planned, per_machine)
+
+    # ------------------------------------------------------------------
+    # sharded burst execution
+    # ------------------------------------------------------------------
+    def supports_sharded_batches(self) -> bool:
+        """Sharded bursts abort shard-wise, so subs must be atomic-capable."""
+        return self.supports_atomic_batches()
+
+    def apply_batch_sharded(
+        self,
+        requests: Batch | Iterable[Request],
+        *,
+        parallel: bool = False,
+        record: bool = True,
+    ) -> BatchResult:
+        """Apply a burst by handing each machine's sub-batch to a worker.
+
+        Equivalent to ``apply_batch`` — placements, per-request costs,
+        and max-span tracking come out identical to sequential
+        processing — but driven shard-first: the burst is resolved with
+        :meth:`plan_shard_execution`, each machine's op stream runs on
+        its own :class:`ShardWorker` against the per-machine scheduler
+        (optionally on a thread pool with ``parallel=True``), and the
+        per-shard touched logs are then merged in global request order
+        into the incrementally-maintained machine-tagged placement map,
+        the balancer, and the cost ledger.
+
+        Sharded bursts are always transactional: a failure on any shard
+        aborts every shard's batch context and reports
+        ``rolled_back=True`` with the earliest failing request's index,
+        leaving the scheduler in its exact pre-burst state (the merge
+        phase, which is the only thing that mutates delegator-level
+        state, never ran).
+
+        ``record=False`` suspends ledger recording, for wrapper layers
+        (alignment) that re-cost the burst against their own view.
+        """
+        batch = requests if isinstance(requests, Batch) else Batch(requests)
+        if self._batch is not None:
+            raise InvalidRequestError(
+                "apply_batch_sharded cannot run inside an open batch")
+        if not self.supports_sharded_batches():
+            raise InvalidRequestError(
+                f"{type(self).__name__} sub-schedulers do not support the "
+                "atomic batch contexts sharded bursts abort through"
+            )
+        try:
+            plan = self.plan_shard_execution(batch)
+        except ReproError as exc:
+            return BatchResult(
+                costs=[], net=None, size=len(batch), atomic=True,
+                failed=True, failed_index=None,
+                failure=f"{type(exc).__name__}: {exc}",
+                rolled_back=True, error=exc,
+            )
+        workers = [ShardWorker(machine, self.machines[machine], ops)
+                   for machine, ops in plan.per_machine.items() if ops]
+        for worker in workers:
+            worker.sub._batch_begin(atomic=True, top=False)
+        try:
+            if parallel and len(workers) > 1:
+                with ThreadPoolExecutor(max_workers=len(workers)) as pool:
+                    list(pool.map(ShardWorker.run, workers))
+            else:
+                for worker in workers:
+                    worker.run()
+        except BaseException:
+            # Unexpected (non-ReproError) failure: nothing has merged,
+            # so an all-shard abort restores the pre-burst state exactly.
+            for worker in workers:
+                worker.sub._batch_abort()
+            raise
+        failures = [w.failure for w in workers if w.failure is not None]
+        if failures:
+            for worker in workers:
+                worker.sub._batch_abort()
+            failed_index, error = min(failures, key=lambda f: f[0])
+            return BatchResult(
+                costs=[], net=None, size=len(batch), atomic=True,
+                failed=True, failed_index=failed_index,
+                failure=f"{type(error).__name__}: {error}",
+                rolled_back=True, error=error,
+            )
+        try:
+            costs, batch_touched = self._merge_shard_results(plan, record=record)
+        finally:
+            # Close the sub contexts even if the merge blows up: the
+            # shards fully applied their streams, so committing them is
+            # the consistent half (mirrors apply_batch's non-atomic
+            # BaseException path); the exception still propagates.
+            for worker in workers:
+                worker.sub._batch_commit()
+        net = diff_touched(
+            batch_touched, self._placements,
+            kind="batch", subject="batch",
+            n_active=len(self.jobs), max_span=self._max_span_cache,
+        )
+        return BatchResult(costs=costs, net=net, size=len(batch), atomic=True)
+
+    def _merge_shard_results(
+        self, plan: ShardPlan, *, record: bool,
+    ) -> tuple[list, dict[JobId, Placement | None]]:
+        """Fold the workers' per-op touched logs into delegator state.
+
+        Runs in global request order, so every first touch of a job
+        reads the same pre-placement sequential execution would log, and
+        each request's cost diff sees exactly the post-request map. This
+        is :meth:`_sync_machine` deferred: sub-level placement changes
+        are machine-tagged into the merged map, the balancer replays the
+        planned mutations, and jobs / span tracking / the ledger advance
+        per request just as the base class would.
+        """
+        placements = self._placements
+        balancer = self.balancer
+        batch_touched: dict[JobId, Placement | None] = {}
+        costs = []
+        for pr in plan.requests:
+            req_touched: dict[JobId, Placement | None] = {}
+            for op in pr.ops:
+                machine = op.machine
+                post = op.post
+                for jid in op.changed:
+                    if jid not in req_touched:
+                        pre = placements.get(jid)
+                        req_touched[jid] = pre
+                        if jid not in batch_touched:
+                            batch_touched[jid] = pre
+                    pl = post[jid]
+                    if pl is None:
+                        placements.pop(jid, None)
+                    else:
+                        placements[jid] = Placement(machine, pl.slot)
+            for bop in pr.balancer_ops:
+                if bop[0] == "ins":
+                    balancer.record_insert(bop[1], bop[2], bop[3])
+                elif bop[0] == "del":
+                    balancer.record_delete(bop[1])
                 else:
-                    window = self.balancer.window_of(request.job_id)
-                    machine = self.balancer.machine_of(request.job_id)
-                count = counts.get(window)
-                if count is None:
-                    count = self.balancer.count(window)
-                counts[window] = count - 1
-            out[machine].append(request)
-        return out
+                    balancer.record_migration(bop[1], bop[2])
+            if pr.kind == "insert":
+                self.jobs[pr.subject] = pr.job
+                self._span_add(pr.job.span)
+                n_active, max_span = len(self.jobs), self._max_span_cache
+            else:
+                job = self.jobs[pr.subject]
+                n_active, max_span = len(self.jobs), self._max_span_cache
+                del self.jobs[pr.subject]
+                self._span_remove(job.span)
+            cost = diff_touched(
+                req_touched, placements,
+                kind=pr.kind, subject=pr.subject,
+                n_active=n_active, max_span=max_span,
+            )
+            if record:
+                self.ledger.record(cost)
+            costs.append(cost)
+        self.last_touched = None
+        return costs, batch_touched
 
     def _batch_begin(self, *, atomic: bool, top: bool,
                      ephemeral: bool = False,

@@ -132,6 +132,13 @@ class AlignedReservationScheduler(ReallocatingScheduler):
 
     _sparse_costing = True
 
+    #: False suspends the per-request undo journal (failed-request
+    #: rollback). Only safe when a failure may corrupt this instance —
+    #: i.e. when the owner discards it wholesale on failure, as a
+    #: trimming rebuild's fresh inner is: a failed rebuild poisons the
+    #: scheduler regardless, so per-survivor journal work is pure waste.
+    _journal_enabled = True
+
     def __init__(self, policy: LevelPolicy = PAPER_POLICY, *,
                  tracer: EventTracer | NullTracer | None = None) -> None:
         super().__init__(num_machines=1)
@@ -185,7 +192,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
                 f"window {job.window} is not aligned; use the alignment wrapper"
             )
         level = self.policy.level_of_span(job.span)
-        journaled = self._abatch is None
+        journaled = self._abatch is None and self._journal_enabled
         if journaled:
             self._journal, self._jseen, self._jtouched = [], set(), []
         try:
@@ -208,7 +215,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
 
     def _apply_delete(self, job: Job) -> None:
         self._check_usable()
-        journaled = self._abatch is None
+        journaled = self._abatch is None and self._journal_enabled
         if journaled:
             self._journal, self._jseen, self._jtouched = [], set(), []
         try:

@@ -62,6 +62,16 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
 
     _sparse_costing = True
 
+    #: Rebuild journal diet: survivor re-inserts during a *non-atomic*
+    #: rebuild skip the per-request undo journal entirely. The journal
+    #: exists to restore pre-request state when a request fails — but a
+    #: failed rebuild poisons the scheduler regardless (half-built
+    #: inners are unusable either way), so the per-survivor journal
+    #: work is pure waste; the atomic-batch path already runs rebuilds
+    #: rollback-free by discarding the fresh inner wholesale on abort.
+    #: Class-level so the equivalence test can pin the journaled oracle.
+    rebuild_journal_diet = True
+
     def __init__(
         self,
         gamma: int = 8,
@@ -138,11 +148,19 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
             self.inner._batch_begin(atomic=ctx.atomic, top=False,
                                     ephemeral=ctx.atomic or ctx.ephemeral,
                                     emit_touched=False)
+        if self.rebuild_journal_diet and (ctx is None or not ctx.atomic):
+            # Journal diet: a failed rebuild poisons regardless, so the
+            # fresh inner's survivor inserts run journal-free (atomic
+            # batches already do, via the ephemeral discard-on-abort path).
+            self.inner._journal_enabled = False
         # Deterministic rebuild order: short spans first, then by release.
         survivors.sort(key=lambda j: (j.span, j.release, str(j.id)))
-        for job in survivors:
-            eff = job.with_window(self.effective_window(job.window))
-            self.inner.insert(eff)
+        try:
+            for job in survivors:
+                eff = job.with_window(self.effective_window(job.window))
+                self.inner.insert(eff)
+        finally:
+            self.inner._journal_enabled = True
         if ctx is not None:
             # Touched logs stay off only for the rebuild itself; later
             # requests in the batch need them (their displacements must

@@ -7,6 +7,17 @@ from .incremental import IncrementalVerifier
 from .metrics import GrowthFit, doubling_series, fit_growth, summarize_series
 from .replay import ExecutionTrace, shrink_failing_prefix
 from .report import experiment_header, format_series, format_table, sparkline
+from .session import (
+    BatchedBackend,
+    DEFAULT_FULL_AUDIT_EVERY,
+    DriveBackend,
+    ExecutionPlan,
+    SequentialBackend,
+    Session,
+    SessionResult,
+    SessionTrace,
+    ShardedBackend,
+)
 
 __all__ = [
     "breakdown_table",
@@ -24,6 +35,15 @@ __all__ = [
     "run_engine",
     "run_sweep",
     "sweep_table",
+    "BatchedBackend",
+    "DEFAULT_FULL_AUDIT_EVERY",
+    "DriveBackend",
+    "ExecutionPlan",
+    "SequentialBackend",
+    "Session",
+    "SessionResult",
+    "SessionTrace",
+    "ShardedBackend",
     "GrowthFit",
     "doubling_series",
     "fit_growth",

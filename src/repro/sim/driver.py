@@ -1,37 +1,26 @@
-"""The simulation driver: run request streams through schedulers.
+"""The classic driver surface: thin adapters over the Session loop.
 
-:func:`run_sequence` feeds a :class:`~repro.core.requests.RequestSequence`
-to any :class:`~repro.core.base.ReallocatingScheduler`, optionally
-verifying feasibility (so every experiment doubles as a correctness
-audit) and optionally validating the reservation scheduler's internal
-invariants. It returns a :class:`RunResult` with the cost ledger and
-summary statistics.
+:func:`run_sequence` is the small-run entry point — feed a
+:class:`~repro.core.requests.RequestSequence` to any
+:class:`~repro.core.base.ReallocatingScheduler`, get a
+:class:`RunResult` back. Since the unified execution API landed, it no
+longer owns a drive loop: it builds an
+:class:`~repro.sim.session.ExecutionPlan` and delegates to
+:class:`~repro.sim.session.Session`, which carries the one shared loop
+(timing split, verifier wiring, failure handling) for this module,
+:mod:`repro.sim.engine`, and every benchmark. Use ``Session`` directly
+for the full surface (drive backends, traces, resume); use
+``run_sequence`` when you want the historical call shape:
 
-Batching is a first-class dimension: ``batch_size > 1`` chunks the
-stream with :func:`~repro.core.requests.iter_batches` and drives the
-scheduler through :meth:`~repro.core.base.ReallocatingScheduler.
-apply_batch` — one batch context per burst, feasibility checked once
-per commit (:meth:`~repro.sim.incremental.IncrementalVerifier.
-verify_batch`), and per-request costs still recorded exactly as the
-sequential path would (the batch-equivalence contract). With
-``atomic_batches=True`` every burst is all-or-nothing: a mid-batch
-failure rolls the whole burst back and ends the run with the scheduler
-in its pre-burst state. ``batch_size <= 1`` is the classic per-request
-loop.
-
-Timing is split by phase: ``scheduler_time_s`` covers only the
-``scheduler.apply``/``apply_batch`` calls (the honest algorithm cost
-that throughput benchmarks must report), ``audit_time_s`` covers the
-verify/validate hooks, and ``wall_time_s`` is the whole loop. Earlier
-revisions reported a single wall time that silently included the O(n)
-audits, contaminating every throughput number.
-
-Verification defaults to the *incremental* checker
-(:class:`~repro.sim.incremental.IncrementalVerifier`): O(changes) per
-request — or O(changed jobs) per batch commit — with periodic and final
-full audits, keeping verified runs within a small factor of unverified
-ones. Pass ``verify_mode="full"`` for the legacy full re-verification
-after every step.
+- ``batch_size > 1`` drives bursts through ``apply_batch``
+  (``atomic_batches=True`` for all-or-nothing bursts); ``backend=``
+  picks the drive backend explicitly (``"sharded"`` fans each burst
+  out to per-machine shard workers on delegating stacks).
+- ``verify_each``/``verify_mode`` wire the incremental or full
+  feasibility checker; the full-audit period defaults to the one
+  shared :data:`~repro.sim.session.DEFAULT_FULL_AUDIT_EVERY`.
+- timing stays split by phase: ``scheduler_time_s`` is the honest
+  algorithm cost, ``audit_time_s`` the verify/validate hooks.
 
 :func:`run_comparison` runs several schedulers over the same sequence
 and aligns their ledgers for head-to-head reporting.
@@ -39,15 +28,13 @@ and aligns their ledgers for head-to-head reporting.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from ..core.base import ReallocatingScheduler
 from ..core.costs import CostLedger
-from ..core.exceptions import ReproError
-from ..core.requests import RequestSequence, iter_batches
-from .incremental import IncrementalVerifier
+from ..core.requests import RequestSequence
+from .session import DEFAULT_FULL_AUDIT_EVERY, DriveBackend, ExecutionPlan, Session
 
 
 @dataclass
@@ -96,14 +83,16 @@ def run_sequence(
     *,
     batch_size: int = 1,
     atomic_batches: bool = False,
+    backend: "str | DriveBackend" = "auto",
+    shard_parallel: bool = False,
     verify_each: bool = True,
     verify_mode: str = "incremental",
-    full_audit_every: int = 256,
+    full_audit_every: int | None = None,
     validate_each: Callable[[ReallocatingScheduler], None] | None = None,
     stop_on_error: bool = True,
     name: str | None = None,
 ) -> RunResult:
-    """Drive ``sequence`` through ``scheduler``.
+    """Drive ``sequence`` through ``scheduler`` (a Session adapter).
 
     Parameters
     ----------
@@ -114,6 +103,11 @@ def run_sequence(
     atomic_batches:
         With ``batch_size > 1``: apply each burst all-or-nothing; a
         mid-batch failure rolls the burst back entirely.
+    backend:
+        Drive backend: ``"auto"`` (default — batched when
+        ``batch_size > 1``, else sequential), ``"sequential"``,
+        ``"batched"``, ``"sharded"``, or a
+        :class:`~repro.sim.session.DriveBackend` instance.
     verify_each:
         Check schedule feasibility after every request — or, when
         batching, after every batch commit (default on; turn off only
@@ -124,8 +118,9 @@ def run_sequence(
         ``full_audit_every`` requests plus once at the end;
         ``"full"`` re-verifies the whole schedule after every step.
     full_audit_every:
-        Full-audit period for incremental mode (0 disables periodic
-        audits; the final audit always runs).
+        Full-audit period for incremental mode (None = the shared
+        :data:`~repro.sim.session.DEFAULT_FULL_AUDIT_EVERY`; 0 disables
+        periodic audits; the final audit always runs).
     validate_each:
         Optional extra validator called with the scheduler after each
         request / batch (e.g. reservation invariant validation).
@@ -137,83 +132,29 @@ def run_sequence(
     """
     if verify_mode not in ("incremental", "full"):
         raise ValueError(f"unknown verify_mode {verify_mode!r}")
-    label = name if name is not None else type(scheduler).__name__
-    verifier = (IncrementalVerifier(scheduler.num_machines,
-                                    full_audit_every=full_audit_every,
-                                    where=label)
-                if verify_each and verify_mode == "incremental" else None)
-    processed = 0
-    sched_s = 0.0
-    audit_s = 0.0
-    perf = time.perf_counter
-    t0 = perf()
-
-    def finish(failure: str | None = None) -> RunResult:
-        return RunResult(
-            scheduler_name=label,
-            ledger=scheduler.ledger,
-            requests_processed=processed,
-            wall_time_s=perf() - t0,
-            scheduler_time_s=sched_s,
-            audit_time_s=audit_s,
-            failed=failure is not None,
-            failure=failure,
-        )
-
-    try:
-        if batch_size > 1:
-            for batch in iter_batches(sequence, batch_size):
-                ta = perf()
-                result = scheduler.apply_batch(batch, atomic=atomic_batches)
-                tb = perf()
-                sched_s += tb - ta
-                processed += result.processed
-                if verify_each:
-                    if verifier is not None:
-                        verifier.verify_batch(scheduler, result)
-                    else:
-                        _full_verify(scheduler, label, processed)
-                if validate_each is not None:
-                    validate_each(scheduler)
-                if verify_each or validate_each is not None:
-                    audit_s += perf() - tb
-                if result.failed:
-                    raise result.error
-        else:
-            for request in sequence:
-                ta = perf()
-                cost = scheduler.apply(request)
-                tb = perf()
-                sched_s += tb - ta
-                processed += 1
-                if verify_each:
-                    if verifier is not None:
-                        verifier.observe(scheduler, cost)
-                    else:
-                        _full_verify(scheduler, label, processed)
-                if validate_each is not None:
-                    validate_each(scheduler)
-                if verify_each or validate_each is not None:
-                    audit_s += perf() - tb
-        if verifier is not None:
-            ta = perf()
-            verifier.full_audit(scheduler)
-            audit_s += perf() - ta
-    except ReproError as exc:
-        if stop_on_error:
-            raise
-        return finish(failure=f"{type(exc).__name__}: {exc}")
-    return finish()
-
-
-def _full_verify(scheduler: ReallocatingScheduler, label: str,
-                 processed: int) -> None:
-    from ..core.schedule import verify_schedule
-
-    verify_schedule(
-        scheduler.jobs, scheduler.placements,
-        scheduler.num_machines,
-        where=f"{label} after request {processed}",
+    plan = ExecutionPlan(
+        batch_size=batch_size,
+        atomic_batches=atomic_batches,
+        backend=backend,
+        shard_parallel=shard_parallel,
+        verify=verify_mode if verify_each else "off",
+        full_audit_every=(full_audit_every if full_audit_every is not None
+                          else DEFAULT_FULL_AUDIT_EVERY),
+        validator=validate_each,
+        validate_every=1,
+        stop_on_error=stop_on_error,
+        name=name,
+    )
+    res = Session(scheduler, sequence, plan).run()
+    return RunResult(
+        scheduler_name=res.name,
+        ledger=res.ledger,
+        requests_processed=res.requests_processed,
+        wall_time_s=res.wall_time_s,
+        scheduler_time_s=res.scheduler_time_s,
+        audit_time_s=res.audit_time_s,
+        failed=res.failed,
+        failure=res.failure,
     )
 
 
@@ -223,6 +164,8 @@ def run_comparison(
     *,
     batch_size: int = 1,
     atomic_batches: bool = False,
+    backend: "str | DriveBackend" = "auto",
+    shard_parallel: bool = False,
     verify_each: bool = True,
     verify_mode: str = "incremental",
     validate_each: Callable[[ReallocatingScheduler], None] | None = None,
@@ -235,6 +178,8 @@ def run_comparison(
             factory(), sequence,
             batch_size=batch_size,
             atomic_batches=atomic_batches,
+            backend=backend,
+            shard_parallel=shard_parallel,
             verify_each=verify_each,
             verify_mode=verify_mode,
             validate_each=validate_each,

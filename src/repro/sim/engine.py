@@ -1,62 +1,56 @@
-"""Batch simulation engine for scenario-scale runs.
+"""The engine surface: scenario-scale adapters over the Session loop.
 
 :func:`run_engine` is the scaled-up sibling of
 :func:`~repro.sim.driver.run_sequence`, built for driving 10^4-10^6
-request workloads while keeping measurements honest:
+request workloads. Like the driver it no longer owns a drive loop —
+both are thin adapters over :class:`~repro.sim.session.Session`, the
+one shared loop (timing split, verifier wiring, checkpoint cadence,
+failure handling) with pluggable drive backends. What this module adds
+is the engine-shaped result surface:
 
-- **Separated timing phases** — scheduler, verify, and validate time are
-  accumulated independently (:class:`EngineResult`), so throughput is
+- **Separated timing phases** — scheduler, verify, and validate time
+  reported independently (:class:`EngineResult`), so throughput is
   always computed over pure scheduler time even in audited runs.
-- **Incremental verification** — feasibility is checked per request in
-  O(changes) via :class:`~repro.sim.incremental.IncrementalVerifier`,
-  with periodic and final full audits, instead of the O(n)-per-request
-  full re-verification the driver historically paid.
 - **Checkpointed progress** — every ``checkpoint_every`` requests the
-  engine records (and optionally reports through ``on_checkpoint``) the
-  running request rate and phase split, so multi-minute sweeps are
-  observable and a crash keeps partial measurements.
-- **Batch-first driving** — ``batch_size > 1`` chunks the stream into
-  :class:`~repro.core.requests.Batch` bursts applied through
-  ``apply_batch`` (optionally ``atomic_batches=True`` for
-  all-or-nothing bursts), with feasibility checked once per commit;
-  batching is a first-class dimension of every engine experiment.
+  session records (and optionally reports through ``on_checkpoint``)
+  the running request rate and phase split.
+- **Backends as a first-class axis** — ``backend="sequential"`` /
+  ``"batched"`` / ``"sharded"`` selects how requests are driven; the
+  sharded backend fans each burst out to per-machine shard workers on
+  delegating scheduler stacks.
+- **Disk-backed traces** — ``trace_path=`` writes the session's JSONL
+  checkpoint trace so a killed multi-hour run resumes from its last
+  checkpoint (``resume=True``, deterministic prefix replay) and runs
+  stay comparable across PRs.
 
 :func:`run_sweep` fans one or many schedulers across a dictionary of
 scenario sequences — the CLI's ``sweep`` command builds the scenario set
 from :data:`~repro.workloads.scenarios.SCENARIOS` — and returns per-cell
-:class:`EngineResult` objects plus a formatted comparison table.
+:class:`EngineResult` objects plus a formatted comparison table. With
+``trace_dir=`` every cell writes its own trace and a re-run with
+``resume=True`` skips completed cells and resumes the interrupted one.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Mapping
 
 from ..core.base import ReallocatingScheduler
-from ..core.exceptions import ReproError
-from ..core.requests import RequestSequence, iter_batches
-from .incremental import IncrementalVerifier
+from ..core.requests import RequestSequence
 from .report import format_table
-
-VERIFY_MODES = ("incremental", "full", "off")
-
-
-@dataclass
-class Checkpoint:
-    """Progress snapshot emitted every ``checkpoint_every`` requests."""
-
-    processed: int
-    wall_time_s: float
-    scheduler_time_s: float
-    verify_time_s: float
-    validate_time_s: float
-
-    @property
-    def requests_per_second(self) -> float:
-        if self.scheduler_time_s <= 0:
-            return float("nan")
-        return self.processed / self.scheduler_time_s
+from .session import (
+    Checkpoint,
+    DEFAULT_FULL_AUDIT_EVERY,
+    DriveBackend,
+    ExecutionPlan,
+    Session,
+    SessionResult,
+    SessionTrace,
+    VERIFY_MODES,
+    sequence_fingerprint,
+)
 
 
 @dataclass
@@ -81,12 +75,17 @@ class EngineResult:
     failed: bool = False
     failure: str | None = None
     checkpoints: list[Checkpoint] = field(default_factory=list)
+    backend: str = "sequential"
+    interrupted: bool = False
+    resumed_from: int = 0
 
     @property
     def requests_per_second(self) -> float:
+        """Throughput over scheduler time (resumed prefix excluded)."""
         if self.scheduler_time_s <= 0:
             return float("nan")
-        return self.requests_processed / self.scheduler_time_s
+        worked = self.requests_processed - self.resumed_from
+        return worked / self.scheduler_time_s
 
     @property
     def audit_time_s(self) -> float:
@@ -97,6 +96,7 @@ class EngineResult:
         out = {
             "run": self.name,
             "scheduler": self.scheduler_name,
+            "backend": self.backend,
             "processed": self.requests_processed,
             "wall_s": round(self.wall_time_s, 4),
             "sched_s": round(self.scheduler_time_s, 4),
@@ -108,7 +108,29 @@ class EngineResult:
         out.update(self.ledger_summary)
         if self.failed:
             out["FAILED"] = self.failure
+        if self.interrupted:
+            out["INTERRUPTED"] = f"after {self.requests_processed}"
         return out
+
+
+def _engine_result(res: SessionResult) -> EngineResult:
+    return EngineResult(
+        name=res.name,
+        scheduler_name=res.scheduler_name,
+        requests_processed=res.requests_processed,
+        wall_time_s=res.wall_time_s,
+        scheduler_time_s=res.scheduler_time_s,
+        verify_time_s=res.verify_time_s,
+        validate_time_s=res.validate_time_s,
+        verify_mode=res.verify_mode,
+        ledger_summary=res.ledger.summary(),
+        failed=res.failed,
+        failure=res.failure,
+        checkpoints=res.checkpoints,
+        backend=res.backend,
+        interrupted=res.interrupted,
+        resumed_from=res.resumed_from,
+    )
 
 
 def run_engine(
@@ -117,13 +139,18 @@ def run_engine(
     *,
     batch_size: int = 1,
     atomic_batches: bool = False,
+    backend: "str | DriveBackend" = "auto",
+    shard_parallel: bool = False,
     verify: str = "incremental",
-    full_audit_every: int = 1024,
+    full_audit_every: int | None = None,
     validator: Callable[[ReallocatingScheduler], None] | None = None,
     validate_every: int = 1,
     checkpoint_every: int = 0,
     on_checkpoint: Callable[[Checkpoint], None] | None = None,
     stop_on_error: bool = False,
+    stop_after: int = 0,
+    trace_path: "str | Path | None" = None,
+    resume: bool = False,
     name: str | None = None,
 ) -> EngineResult:
     """Drive ``sequence`` through ``scheduler`` with phase-split timing.
@@ -132,15 +159,22 @@ def run_engine(
     ----------
     batch_size:
         Chunk the stream into bursts of this size and drive them
-        through ``apply_batch`` (1 = per-request loop). Verification
-        then checks once per batch commit, and the validator / the
-        checkpoint cadence fire on batch boundaries.
+        through the batch-shaped backends (1 = per-request loop).
+        Verification then checks once per batch commit, and the
+        validator / the checkpoint cadence fire on batch boundaries.
     atomic_batches:
-        With ``batch_size > 1``: apply each burst all-or-nothing.
+        Batched backend: apply each burst all-or-nothing (the sharded
+        backend is always transactional per burst).
+    backend:
+        ``"auto"`` (default), ``"sequential"``, ``"batched"``,
+        ``"sharded"``, or a DriveBackend instance.
+    shard_parallel:
+        Sharded backend: run the per-machine workers on a thread pool.
     verify:
         ``"incremental"`` (default), ``"full"``, or ``"off"``.
     full_audit_every:
-        Full-audit period for incremental verification (0 = final only).
+        Full-audit period for incremental verification (None = the
+        shared :data:`~repro.sim.session.DEFAULT_FULL_AUDIT_EVERY`).
     validator:
         Optional invariant validator (e.g. ``validate_scheduler``),
         called every ``validate_every`` requests (0 disables it, like
@@ -150,104 +184,74 @@ def run_engine(
     stop_on_error:
         If True, scheduler failures raise; by default the engine ends
         the run gracefully with ``failed=True`` (sweeps keep going).
+    stop_after:
+        End the run gracefully after this many requests this session
+        (0 = off) — pairs with ``trace_path`` for resumable runs.
+    trace_path / resume:
+        Write (and with ``resume=True`` continue from) the session's
+        JSONL trace; see :class:`~repro.sim.session.SessionTrace`.
     """
-    if verify not in VERIFY_MODES:
-        raise ValueError(f"verify must be one of {VERIFY_MODES}, got {verify!r}")
-    label = name if name is not None else type(scheduler).__name__
-    verifier = (IncrementalVerifier(scheduler.num_machines,
-                                    full_audit_every=full_audit_every,
-                                    where=label)
-                if verify == "incremental" else None)
-    processed = 0
-    sched_s = verify_s = validate_s = 0.0
-    checkpoints: list[Checkpoint] = []
-    perf = time.perf_counter
-    t0 = perf()
+    plan = ExecutionPlan(
+        batch_size=batch_size,
+        atomic_batches=atomic_batches,
+        backend=backend,
+        shard_parallel=shard_parallel,
+        verify=verify,
+        full_audit_every=(full_audit_every if full_audit_every is not None
+                          else DEFAULT_FULL_AUDIT_EVERY),
+        validator=validator,
+        validate_every=validate_every,
+        checkpoint_every=checkpoint_every,
+        on_checkpoint=on_checkpoint,
+        stop_on_error=stop_on_error,
+        stop_after=stop_after,
+        trace_path=trace_path,
+        resume=resume,
+        name=name,
+    )
+    return _engine_result(Session(scheduler, sequence, plan).run())
 
-    def checkpoint() -> None:
-        cp = Checkpoint(processed, perf() - t0, sched_s, verify_s, validate_s)
-        checkpoints.append(cp)
-        if on_checkpoint is not None:
-            on_checkpoint(cp)
 
-    def finish(failure: str | None = None) -> EngineResult:
-        return EngineResult(
-            name=label,
-            scheduler_name=type(scheduler).__name__,
-            requests_processed=processed,
-            wall_time_s=perf() - t0,
-            scheduler_time_s=sched_s,
-            verify_time_s=verify_s,
-            validate_time_s=validate_s,
-            verify_mode=verify,
-            ledger_summary=scheduler.ledger.summary(),
-            failed=failure is not None,
-            failure=failure,
-            checkpoints=checkpoints,
-        )
+def _cell_trace_path(trace_dir: "str | Path", label: str) -> Path:
+    return Path(trace_dir) / (label.replace("/", "--") + ".jsonl")
 
-    def full_verify() -> None:
-        from ..core.schedule import verify_schedule
 
-        verify_schedule(scheduler.jobs, scheduler.placements,
-                        scheduler.num_machines,
-                        where=f"{label} after request {processed}")
+def _read_cell_trace(
+    path: Path, label: str, fingerprint: str,
+) -> tuple[EngineResult | None, bool]:
+    """One read of a cell's trace: (completed result, trace is current).
 
-    last_marker = 0
-
-    def periodic_hooks() -> None:
-        """Validator + checkpoint on their request cadences."""
-        nonlocal last_marker, validate_s
-        if (validator is not None and validate_every
-                and processed // validate_every > last_marker // validate_every):
-            tc = perf()
-            validator(scheduler)
-            validate_s += perf() - tc
-        if (checkpoint_every
-                and processed // checkpoint_every > last_marker // checkpoint_every):
-            checkpoint()
-        last_marker = processed
-
-    try:
-        if batch_size > 1:
-            for batch in iter_batches(sequence, batch_size):
-                ta = perf()
-                result = scheduler.apply_batch(batch, atomic=atomic_batches)
-                tb = perf()
-                sched_s += tb - ta
-                processed += result.processed
-                if verifier is not None:
-                    verifier.verify_batch(scheduler, result)
-                    verify_s += perf() - tb
-                elif verify == "full":
-                    full_verify()
-                    verify_s += perf() - tb
-                periodic_hooks()
-                if result.failed:
-                    raise result.error
-        else:
-            for request in sequence:
-                ta = perf()
-                cost = scheduler.apply(request)
-                tb = perf()
-                sched_s += tb - ta
-                processed += 1
-                if verifier is not None:
-                    verifier.observe(scheduler, cost)
-                    verify_s += perf() - tb
-                elif verify == "full":
-                    full_verify()
-                    verify_s += perf() - tb
-                periodic_hooks()
-        if verifier is not None:
-            ta = perf()
-            verifier.full_audit(scheduler)
-            verify_s += perf() - ta
-    except ReproError as exc:
-        if stop_on_error:
-            raise
-        return finish(failure=f"{type(exc).__name__}: {exc}")
-    return finish()
+    Both answers are guarded by the sequence fingerprint like an
+    in-session resume: a trace recorded for different scenario content
+    (e.g. a re-run with a new ``--requests``) is neither completed nor
+    resumable — the caller re-runs the cell from scratch, overwriting
+    the stale trace. A recorded ``resumed_from`` carries over so
+    throughput stays computed over the session that actually ran.
+    """
+    if not path.exists():
+        return None, True  # nothing recorded yet; a fresh resume is fresh
+    records = SessionTrace.read_records(path)
+    header = next((r for r in records if r.get("type") == "header"), None)
+    if header is None or header.get("fingerprint") != fingerprint:
+        return None, False
+    final = SessionTrace.final_record(records)
+    if final is None:
+        return None, True
+    return EngineResult(
+        name=label,
+        scheduler_name=final.get("scheduler", ""),
+        requests_processed=final.get("processed", 0),
+        wall_time_s=final.get("wall_s", 0.0),
+        scheduler_time_s=final.get("sched_s", 0.0),
+        verify_time_s=final.get("verify_s", 0.0),
+        validate_time_s=final.get("validate_s", 0.0),
+        verify_mode=final.get("verify_mode", ""),
+        ledger_summary=final.get("ledger", {}),
+        failed=bool(final.get("failed")),
+        failure=final.get("failure"),
+        backend=final.get("backend", ""),
+        resumed_from=final.get("resumed_from", 0),
+    ), True
 
 
 def run_sweep(
@@ -256,26 +260,61 @@ def run_sweep(
     *,
     batch_size: int = 1,
     atomic_batches: bool = False,
+    backend: "str | DriveBackend" = "auto",
+    shard_parallel: bool = False,
     verify: str = "incremental",
-    full_audit_every: int = 1024,
+    full_audit_every: int | None = None,
     checkpoint_every: int = 0,
     on_checkpoint: Callable[[str, Checkpoint], None] | None = None,
+    stop_after: int = 0,
+    trace_dir: "str | Path | None" = None,
+    resume: bool = False,
 ) -> dict[tuple[str, str], EngineResult]:
-    """Run every scheduler over every scenario (fresh instance per cell)."""
+    """Run every scheduler over every scenario (fresh instance per cell).
+
+    With ``trace_dir`` each cell writes ``<scenario>--<scheduler>.jsonl``
+    there; re-running with ``resume=True`` reconstructs completed cells
+    from their final trace record (no re-run) and resumes interrupted
+    ones from their last checkpoint. ``stop_after`` bounds the requests
+    processed per invocation (across-cells budget is per cell), which
+    together with resume gives kill-and-continue sweeps.
+    """
     results: dict[tuple[str, str], EngineResult] = {}
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
     for scen_name, sequence in scenarios.items():
+        fingerprint = (sequence_fingerprint(sequence)
+                       if trace_dir is not None and resume else None)
         for sched_name, factory in factories.items():
             label = f"{scen_name}/{sched_name}"
+            trace_path = None
+            cell_resume = resume
+            if trace_dir is not None:
+                trace_path = _cell_trace_path(trace_dir, label)
+                if resume:
+                    done, current = _read_cell_trace(trace_path, label,
+                                                     fingerprint)
+                    if done is not None:
+                        results[(scen_name, sched_name)] = done
+                        continue
+                    # a trace for different scenario content is stale:
+                    # re-run the cell fresh instead of refusing to resume
+                    cell_resume = current
             hook = (None if on_checkpoint is None
                     else (lambda cp, _l=label: on_checkpoint(_l, cp)))
             results[(scen_name, sched_name)] = run_engine(
                 factory(), sequence,
                 batch_size=batch_size,
                 atomic_batches=atomic_batches,
+                backend=backend,
+                shard_parallel=shard_parallel,
                 verify=verify,
                 full_audit_every=full_audit_every,
                 checkpoint_every=checkpoint_every,
                 on_checkpoint=hook,
+                stop_after=stop_after,
+                trace_path=trace_path,
+                resume=cell_resume,
                 name=label,
             )
     return results
@@ -294,7 +333,8 @@ def sweep_table(results: Mapping[tuple[str, str], EngineResult],
             round(r.validate_time_s, 3),
             r.ledger_summary.get("max_realloc", ""),
             r.ledger_summary.get("mean_realloc", ""),
-            "FAILED" if r.failed else "ok",
+            ("FAILED" if r.failed
+             else "partial" if r.interrupted else "ok"),
         ])
     return format_table(
         ["scenario", "scheduler", "requests", "req/s", "sched_s",

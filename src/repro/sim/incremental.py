@@ -150,6 +150,29 @@ class IncrementalVerifier:
             )
 
     # ------------------------------------------------------------------
+    def seed(self, scheduler: ReallocatingScheduler, *,
+             processed: int = 0) -> None:
+        """Adopt the scheduler's live schedule as the mirror.
+
+        Used when verification starts mid-run (a resumed session whose
+        committed prefix was replayed unverified): the live schedule is
+        fully verified once, then becomes the baseline that subsequent
+        :meth:`observe` / :meth:`verify_batch` calls check changes
+        against. ``processed`` seeds the request counter so periodic
+        full audits keep their absolute cadence.
+        """
+        verify_schedule(scheduler.jobs, scheduler.placements,
+                        self.num_machines, where=f"{self.where} resume seed")
+        self._jobs = dict(scheduler.jobs)
+        self._placements = dict(scheduler.placements)
+        self._occupied = {}
+        for job_id, pl in self._placements.items():
+            job = self._jobs[job_id]
+            for t in range(pl.slot, pl.slot + job.size):
+                self._occupied[(pl.machine, t)] = job_id
+        self.requests_seen = processed
+
+    # ------------------------------------------------------------------
     def full_audit(self, scheduler: ReallocatingScheduler) -> None:
         """From-scratch feasibility check plus mirror/scheduler comparison."""
         self.full_audits_run += 1

@@ -296,6 +296,23 @@ def test_verify_batch_detects_unreported_change():
 # ----------------------------------------------------------------------
 # delegation grouping
 # ----------------------------------------------------------------------
+def test_apply_batch_sharded_matches_sequential_theorem1_m3():
+    """The sharded burst path (per-machine shard workers + touched-log
+    merge) obeys the same equivalence contract as apply_batch: identical
+    placements, ledger, and max-span to sequential apply."""
+    seq = make_workload(400, seed=3, machines=3)
+    sequential = ReservationScheduler(3, gamma=8)
+    for r in seq:
+        sequential.apply(r)
+    sharded = ReservationScheduler(3, gamma=8)
+    for batch in iter_batches(seq, 48):
+        result = sharded.apply_batch_sharded(batch)
+        assert not result.failed, result.failure
+        assert result.processed == len(batch)
+    assert_equivalent(sharded, sequential)
+    sharded.check_balance()
+
+
 def test_machine_sub_batches_match_round_robin():
     sched = ReservationScheduler(3, gamma=8)
     window = Window(0, 64)
