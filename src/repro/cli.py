@@ -20,8 +20,11 @@ requests through the transactional ``apply_batch`` API in bursts of N),
 ``--atomic-batches`` (all-or-nothing bursts), and ``--backend
 {auto,sequential,batched,sharded}`` — the session drive backend;
 ``sharded`` fans each burst out to per-machine shard workers on
-delegating scheduler stacks (add ``--shard-parallel`` for a thread-pool
-worker per machine).
+delegating scheduler stacks. ``--shard-workers {serial,threads,
+processes}`` picks the worker flavor (``processes`` keeps each
+machine's sub-scheduler resident in a worker process across bursts —
+the flavor with real parallelism); the old boolean ``--shard-parallel``
+is a deprecated alias for ``--shard-workers threads``.
 
 ``engine`` and ``sweep`` support resumable runs: ``--trace FILE`` /
 ``--trace-dir DIR`` write the session's JSONL checkpoint trace,
@@ -49,6 +52,7 @@ from .baselines import (
     NaivePeckingScheduler,
 )
 from .core.api import ReservationScheduler
+from .core.base import SHARD_WORKER_MODES
 from .core.requests import RequestSequence
 from .sim import (
     format_table,
@@ -76,6 +80,21 @@ def _require_single(m: int) -> None:
         raise SystemExit("the naive pecking scheduler is single-machine only")
 
 
+def resolve_shard_workers(args) -> str:
+    """Effective ``--shard-workers`` mode, honoring the deprecated alias.
+
+    An explicit ``--shard-workers`` always wins; ``--shard-parallel``
+    alone maps to ``threads`` with a deprecation warning.
+    """
+    if args.shard_workers is not None:
+        return args.shard_workers
+    if args.shard_parallel:
+        print("warning: --shard-parallel is deprecated; "
+              "use --shard-workers threads", file=sys.stderr)
+        return "threads"
+    return "serial"
+
+
 def _make_workload(args) -> RequestSequence:
     cfg = AlignedWorkloadConfig(
         num_requests=args.requests,
@@ -94,7 +113,7 @@ def cmd_demo(args) -> int:
     result = run_sequence(sched, seq, batch_size=args.batch_size,
                           atomic_batches=args.atomic_batches,
                           backend=args.backend,
-                          shard_parallel=args.shard_parallel)
+                          shard_workers=resolve_shard_workers(args))
     rows = [[k, v] for k, v in result.summary.items()]
     title = f"Theorem 1 scheduler on {len(seq)} requests"
     if args.batch_size > 1:
@@ -153,7 +172,7 @@ def cmd_engine(args) -> int:
         batch_size=args.batch_size,
         atomic_batches=args.atomic_batches,
         backend=args.backend,
-        shard_parallel=args.shard_parallel,
+        shard_workers=resolve_shard_workers(args),
         verify=args.verify,
         checkpoint_every=args.checkpoint_every,
         on_checkpoint=progress if args.checkpoint_every else None,
@@ -197,7 +216,7 @@ def cmd_sweep(args) -> int:
                         batch_size=args.batch_size,
                         atomic_batches=args.atomic_batches,
                         backend=args.backend,
-                        shard_parallel=args.shard_parallel,
+                        shard_workers=resolve_shard_workers(args),
                         stop_after=args.stop_after,
                         trace_dir=args.trace_dir or None,
                         resume=args.resume)
@@ -278,10 +297,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="session drive backend; 'sharded' hands each "
                             "burst's per-machine sub-batches to shard "
                             "workers (delegating stacks only)")
+        p.add_argument("--shard-workers", default=None,
+                       dest="shard_workers",
+                       choices=list(SHARD_WORKER_MODES),
+                       help="sharded backend: worker flavor — 'serial' "
+                            "(default), 'threads' (GIL-bound pool), or "
+                            "'processes' (per-machine sub-schedulers "
+                            "resident in worker processes across bursts)")
         p.add_argument("--shard-parallel", action="store_true",
                        dest="shard_parallel",
-                       help="sharded backend: one thread-pool worker per "
-                            "machine instead of serial workers")
+                       help="DEPRECATED: alias for --shard-workers threads")
 
     def add_trace_args(p, directory=False):
         if directory:

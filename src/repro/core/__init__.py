@@ -16,6 +16,7 @@ from .exceptions import (
     ReproError,
     UnderallocationError,
     ValidationError,
+    WorkerCrashError,
 )
 from .job import Job, JobId, Placement
 from .requests import (
@@ -48,6 +49,7 @@ __all__ = [
     "ReproError",
     "UnderallocationError",
     "ValidationError",
+    "WorkerCrashError",
     "Job",
     "JobId",
     "Placement",

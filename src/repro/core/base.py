@@ -61,6 +61,28 @@ from .exceptions import InvalidRequestError, ReproError
 from .job import Job, JobId, Placement
 from .requests import Batch, DeleteJob, InsertJob, Request
 
+#: the worker flavors of ``apply_batch_sharded`` — defined once here
+#: (the hook-point layer) and imported by the delegation layer, the
+#: session backends, and the CLI's argparse choices
+SHARD_WORKER_MODES = ("serial", "threads", "processes")
+
+
+def resolve_shard_worker_mode(workers: str | None,
+                              parallel: bool = False) -> str:
+    """Fold the deprecated ``parallel`` flag into one validated mode.
+
+    An explicit ``workers`` always wins; ``parallel=True`` alone is the
+    legacy spelling of ``"threads"``. Every ``workers=`` entry point
+    (delegation, session backend, execution plan) resolves through
+    here, so a new mode needs adding in exactly one place.
+    """
+    mode = workers if workers is not None else (
+        "threads" if parallel else "serial")
+    if mode not in SHARD_WORKER_MODES:
+        raise ValueError(
+            f"workers must be one of {SHARD_WORKER_MODES}, got {mode!r}")
+    return mode
+
 
 class _BatchContext:
     """Per-batch bookkeeping held by a scheduler while a batch is open.
@@ -426,6 +448,7 @@ class ReallocatingScheduler(abc.ABC):
         self,
         requests: Batch | Iterable[Request],
         *,
+        workers: str | None = None,
         parallel: bool = False,
     ) -> BatchResult:
         """Apply a burst via per-shard workers (delegating stacks only).
@@ -433,10 +456,25 @@ class ReallocatingScheduler(abc.ABC):
         Semantics match :meth:`apply_batch` with ``atomic=True`` applied
         per burst: identical placements, ledger entries, and max-span
         tracking, with whole-burst rollback on any shard failure.
+        ``workers`` selects the worker mode (``"serial"``, ``"threads"``,
+        or ``"processes"`` — persistent worker processes holding the
+        per-machine sub-schedulers across bursts); ``parallel=True`` is
+        the deprecated spelling of ``workers="threads"``.
         """
         raise InvalidRequestError(
             f"{type(self).__name__} does not support sharded batches"
         )
+
+    def close_shard_workers(self) -> None:
+        """Release process-resident shard workers, syncing state back.
+
+        Delegating stacks running ``apply_batch_sharded`` with
+        ``workers="processes"`` keep the per-machine sub-schedulers
+        resident in worker processes between bursts; this pulls that
+        state back into memory and ends the worker processes. No-op for
+        every other scheduler and mode (any in-memory entry point also
+        performs it implicitly).
+        """
 
     def _batch_prepare(self, inserts: list[Job]) -> None:
         """Hook: plan the batch from its insert jobs (grouping, memos)."""

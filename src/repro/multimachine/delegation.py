@@ -22,11 +22,20 @@ Sharded burst execution: because machines never share scheduler state
 burst can be resolved up front into independent per-machine op streams
 (:meth:`DelegatingScheduler.plan_shard_execution` — the richer sibling
 of :meth:`DelegatingScheduler.machine_sub_batches`) and applied by one
-:class:`ShardWorker` per machine, serially or on a thread pool.
-:meth:`DelegatingScheduler.apply_batch_sharded` then merges the
+:class:`ShardWorker` per machine — serially, on a thread pool, or by
+*process-resident* workers (``workers="processes"``): each machine's
+sub-scheduler then lives persistently in a worker process across bursts
+(:mod:`repro.multimachine.procworkers`), the only path that escapes the
+GIL. :meth:`DelegatingScheduler.apply_batch_sharded` then merges the
 per-shard touched-placement logs back into the machine-tagged placement
 map, balancer, and ledger in global request order — bit-identical to
-sequential processing, with whole-burst rollback on any shard failure.
+sequential processing, with whole-burst rollback on any shard failure
+(including a worker process dying mid-burst, after which the worker is
+re-seeded from a state snapshot). While a process pool is open, the
+in-memory ``machines`` are stale; any in-memory entry point
+(``apply``, ``apply_batch``, serial/thread sharded bursts) syncs the
+worker state back and closes the pool first, and
+:meth:`DelegatingScheduler.close_shard_workers` does so explicitly.
 The sharded drive backend (:mod:`repro.sim.session`) is its consumer.
 """
 
@@ -36,7 +45,7 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Mapping
 
-from ..core.base import ReallocatingScheduler
+from ..core.base import ReallocatingScheduler, resolve_shard_worker_mode
 from ..core.costs import BatchResult, diff_touched
 from ..core.exceptions import InvalidRequestError, ReproError
 from ..core.job import Job, JobId, Placement
@@ -362,6 +371,9 @@ class DelegatingScheduler(ReallocatingScheduler):
         #: per-batch round-robin plan: window -> machine queue for the
         #: batch's grouped inserts (invalidated per window by deletes)
         self._batch_plan: dict[Window, deque[int]] = {}
+        #: open process-resident worker pool (None = in-memory mode);
+        #: while open, ``self.machines`` entries are stale snapshots
+        self._shard_pool = None
 
     @property
     def placements(self) -> Mapping[JobId, Placement]:
@@ -385,6 +397,7 @@ class DelegatingScheduler(ReallocatingScheduler):
                 self._placements[job_id] = Placement(machine, pl.slot)
 
     def _apply_insert(self, job: Job) -> None:
+        self._leave_process_mode()
         plan = self._batch_plan
         if plan:
             queue = plan.get(job.window)
@@ -397,6 +410,7 @@ class DelegatingScheduler(ReallocatingScheduler):
         self._sync_machine(machine, cost, job.id)
 
     def _apply_delete(self, job: Job) -> None:
+        self._leave_process_mode()
         if self._batch_plan:
             # A delete changes this window's round-robin position: the
             # rest of its planned insert machines would be stale.
@@ -583,6 +597,7 @@ class DelegatingScheduler(ReallocatingScheduler):
         self,
         requests: Batch | Iterable[Request],
         *,
+        workers: str | None = None,
         parallel: bool = False,
         record: bool = True,
     ) -> BatchResult:
@@ -592,22 +607,42 @@ class DelegatingScheduler(ReallocatingScheduler):
         and max-span tracking come out identical to sequential
         processing — but driven shard-first: the burst is resolved with
         :meth:`plan_shard_execution`, each machine's op stream runs on
-        its own :class:`ShardWorker` against the per-machine scheduler
-        (optionally on a thread pool with ``parallel=True``), and the
-        per-shard touched logs are then merged in global request order
-        into the incrementally-maintained machine-tagged placement map,
-        the balancer, and the cost ledger.
+        its own worker, and the per-shard touched logs are then merged
+        in global request order into the incrementally-maintained
+        machine-tagged placement map, the balancer, and the cost ledger.
+
+        ``workers`` selects how the per-machine workers run:
+
+        - ``"serial"`` (default) — one in-process :class:`ShardWorker`
+          per machine, run back to back;
+        - ``"threads"`` — the same workers on a thread pool (identical
+          results; GIL-bound, an architecture demonstration);
+        - ``"processes"`` — *process-resident* workers
+          (:class:`~repro.multimachine.procworkers.ProcessShardPool`):
+          each machine's sub-scheduler lives persistently in a worker
+          process across bursts and only op streams cross the pipe —
+          the one mode with real parallelism. The pool opens lazily on
+          the first process burst and stays open until any in-memory
+          entry point syncs the state back (or
+          :meth:`close_shard_workers` is called).
+
+        ``parallel=True`` is the deprecated spelling of
+        ``workers="threads"``.
 
         Sharded bursts are always transactional: a failure on any shard
         aborts every shard's batch context and reports
         ``rolled_back=True`` with the earliest failing request's index,
         leaving the scheduler in its exact pre-burst state (the merge
         phase, which is the only thing that mutates delegator-level
-        state, never ran).
+        state, never ran). A worker *process* dying mid-burst is the
+        same failure path (``WorkerCrashError``), after which the dead
+        worker is re-seeded from its last state snapshot — the
+        scheduler stays usable.
 
         ``record=False`` suspends ledger recording, for wrapper layers
         (alignment) that re-cost the burst against their own view.
         """
+        mode = resolve_shard_worker_mode(workers, parallel)
         batch = requests if isinstance(requests, Batch) else Batch(requests)
         if self._batch is not None:
             raise InvalidRequestError(
@@ -617,6 +652,10 @@ class DelegatingScheduler(ReallocatingScheduler):
                 f"{type(self).__name__} sub-schedulers do not support the "
                 "atomic batch contexts sharded bursts abort through"
             )
+        if mode == "processes":
+            return self._sharded_burst_processes(batch, record=record)
+        self._leave_process_mode()
+        parallel = mode == "threads"
         try:
             plan = self.plan_shard_execution(batch)
         except ReproError as exc:
@@ -663,6 +702,85 @@ class DelegatingScheduler(ReallocatingScheduler):
             # BaseException path); the exception still propagates.
             for worker in workers:
                 worker.sub._batch_commit()
+        net = diff_touched(
+            batch_touched, self._placements,
+            kind="batch", subject="batch",
+            n_active=len(self.jobs), max_span=self._max_span_cache,
+        )
+        return BatchResult(costs=costs, net=net, size=len(batch), atomic=True)
+
+    # ------------------------------------------------------------------
+    # process-resident workers
+    # ------------------------------------------------------------------
+    def _ensure_shard_pool(self):
+        pool = self._shard_pool
+        if pool is None:
+            from .procworkers import ProcessShardPool
+
+            pool = self._shard_pool = ProcessShardPool(self.machines)
+        return pool
+
+    def _leave_process_mode(self) -> None:
+        """Sync worker-resident state back and close the process pool.
+
+        Called by every in-memory entry point (``_apply_insert`` /
+        ``_apply_delete`` / ``_batch_begin`` / serial and thread sharded
+        bursts): while a process pool is open, the authoritative
+        sub-scheduler state lives in the workers, so it must be pulled
+        back before ``self.machines`` is used again. No-op when no pool
+        is open; the sync is exact (snapshots are taken at a burst
+        boundary; a dead worker's state is rebuilt deterministically).
+        """
+        pool = self._shard_pool
+        if pool is None:
+            return
+        self._shard_pool = None
+        try:
+            self.machines[:] = pool.sync_subs()
+        finally:
+            pool.close()
+
+    def close_shard_workers(self) -> None:
+        """Public spelling of :meth:`_leave_process_mode` (see base)."""
+        self._leave_process_mode()
+
+    def _sharded_burst_processes(self, batch: Batch, *,
+                                 record: bool) -> BatchResult:
+        """One burst through the process-resident worker pool.
+
+        Mirrors the in-process sharded path: plan, fan the op streams
+        out (over pipes instead of function calls), merge the per-shard
+        results in global request order, and deliver the commit verdict
+        — the workers hold their atomic batch contexts open until the
+        coordinator's verdict, so a failure anywhere rolls the whole
+        burst back before anything merges.
+        """
+        try:
+            plan = self.plan_shard_execution(batch)
+        except ReproError as exc:
+            return BatchResult(
+                costs=[], net=None, size=len(batch), atomic=True,
+                failed=True, failed_index=None,
+                failure=f"{type(exc).__name__}: {exc}",
+                rolled_back=True, error=exc,
+            )
+        pool = self._ensure_shard_pool()
+        failure = pool.run_burst(plan)
+        if failure is not None:
+            failed_index, error = failure
+            return BatchResult(
+                costs=[], net=None, size=len(batch), atomic=True,
+                failed=True, failed_index=failed_index,
+                failure=f"{type(error).__name__}: {error}",
+                rolled_back=True, error=error,
+            )
+        try:
+            costs, batch_touched = self._merge_shard_results(plan, record=record)
+        finally:
+            # The workers fully applied their streams; committing them is
+            # the consistent half even if the merge blows up (mirrors the
+            # in-process path). The exception still propagates.
+            pool.commit_burst()
         net = diff_touched(
             batch_touched, self._placements,
             kind="batch", subject="batch",
@@ -733,6 +851,7 @@ class DelegatingScheduler(ReallocatingScheduler):
     def _batch_begin(self, *, atomic: bool, top: bool,
                      ephemeral: bool = False,
                      emit_touched: bool = True) -> None:
+        self._leave_process_mode()
         super()._batch_begin(atomic=atomic, top=top, ephemeral=ephemeral,
                              emit_touched=emit_touched)
         if atomic and not ephemeral:

@@ -8,8 +8,10 @@ layer: :class:`ElasticScheduler` extends the Section 3 reduction with
 per-window floor/ceil balance invariant with the *minimum* number of
 migrations, and measures that cost in the standard ledger.
 
-What the measurement shows (bench E13): adding a machine to m machines
-costs about ``sum_W floor(n_W / (m+1))`` migrations — every window
+What the measurement shows (``bench_elastic.py``'s E13 — distinct from
+``bench_throughput.py``'s E13 process-worker bench): adding a machine
+to m machines costs about ``sum_W floor(n_W / (m+1))`` migrations —
+every window
 sheds its share to the newcomer, totalling ~n/(m+1) — and removing a
 machine costs ~n/m (its jobs must go somewhere). Both are Theta(n/m)
 per elasticity event, and that is optimal to within constants: any
@@ -141,6 +143,7 @@ class ElasticScheduler(DelegatingScheduler):
             raise InvalidRequestError(
                 "machine pool changes are not allowed inside a batch"
             )
+        self._leave_process_mode()
         before = dict(self.placements)
         self.machines.append(self._factory())
         self.num_machines += 1
@@ -165,6 +168,7 @@ class ElasticScheduler(DelegatingScheduler):
             raise ValueError("cannot remove the last machine")
         if not 0 <= index < self.num_machines:
             raise ValueError(f"no machine {index}")
+        self._leave_process_mode()
         # Survivor machines above `index` shift down by one position.
         # That relabeling is bookkeeping, not movement, so the cost diff
         # compares against a relabel-corrected snapshot: only jobs that

@@ -88,6 +88,23 @@ class Interval:
     _stale: bool = field(default=True, repr=False, compare=False)
 
     # ------------------------------------------------------------------
+    # serialization (worker-resident schedulers cross a process boundary)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Picklable state: everything but the scheduler-owned callables.
+
+        ``on_assign`` / ``on_release`` are closures over the owning
+        scheduler and ``undo_log`` is only ever set inside a request, so
+        all three are dropped; the scheduler's own ``__setstate__``
+        re-attaches its hooks to every interval it restores.
+        """
+        state = self.__dict__.copy()
+        state["on_assign"] = None
+        state["on_release"] = None
+        state["undo_log"] = None
+        return state
+
+    # ------------------------------------------------------------------
     # geometry / demand
     # ------------------------------------------------------------------
     @property

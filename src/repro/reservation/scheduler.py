@@ -177,6 +177,40 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         }
 
     # ------------------------------------------------------------------
+    # serialization (worker-resident schedulers cross a process boundary)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Picklable snapshot, valid only between requests/batches.
+
+        The process-resident shard workers
+        (:mod:`repro.multimachine.procworkers`) ship scheduler state
+        across a process boundary exactly twice per worker lifetime —
+        seed and crash re-seed — so the only state excluded is the
+        per-level hook closures (rebuilt on restore) and the in-flight
+        request/batch journals, which are None at every burst boundary.
+        """
+        if (self._batch is not None or self._abatch is not None
+                or self._journal is not None):
+            raise InvalidRequestError(
+                "cannot serialize a scheduler with an open request or "
+                "batch context"
+            )
+        state = self.__dict__.copy()
+        del state["_assign_hooks"]
+        del state["_release_hooks"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        levels = range(1, self.policy.num_reservation_levels + 1)
+        self._assign_hooks = {lv: self._make_assign_hook(lv) for lv in levels}
+        self._release_hooks = {lv: self._make_release_hook(lv) for lv in levels}
+        for lv, table in self.intervals.items():
+            for iv in table.values():
+                iv.on_assign = self._assign_hooks[lv]
+                iv.on_release = self._release_hooks[lv]
+
+    # ------------------------------------------------------------------
     # ReallocatingScheduler interface
     # ------------------------------------------------------------------
     @property

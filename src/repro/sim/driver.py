@@ -84,6 +84,7 @@ def run_sequence(
     batch_size: int = 1,
     atomic_batches: bool = False,
     backend: "str | DriveBackend" = "auto",
+    shard_workers: str | None = None,
     shard_parallel: bool = False,
     verify_each: bool = True,
     verify_mode: str = "incremental",
@@ -136,6 +137,7 @@ def run_sequence(
         batch_size=batch_size,
         atomic_batches=atomic_batches,
         backend=backend,
+        shard_workers=shard_workers,
         shard_parallel=shard_parallel,
         verify=verify_mode if verify_each else "off",
         full_audit_every=(full_audit_every if full_audit_every is not None
@@ -165,6 +167,7 @@ def run_comparison(
     batch_size: int = 1,
     atomic_batches: bool = False,
     backend: "str | DriveBackend" = "auto",
+    shard_workers: str | None = None,
     shard_parallel: bool = False,
     verify_each: bool = True,
     verify_mode: str = "incremental",
@@ -179,6 +182,7 @@ def run_comparison(
             batch_size=batch_size,
             atomic_batches=atomic_batches,
             backend=backend,
+            shard_workers=shard_workers,
             shard_parallel=shard_parallel,
             verify_each=verify_each,
             verify_mode=verify_mode,

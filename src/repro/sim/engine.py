@@ -140,6 +140,7 @@ def run_engine(
     batch_size: int = 1,
     atomic_batches: bool = False,
     backend: "str | DriveBackend" = "auto",
+    shard_workers: str | None = None,
     shard_parallel: bool = False,
     verify: str = "incremental",
     full_audit_every: int | None = None,
@@ -168,8 +169,13 @@ def run_engine(
     backend:
         ``"auto"`` (default), ``"sequential"``, ``"batched"``,
         ``"sharded"``, or a DriveBackend instance.
+    shard_workers:
+        Sharded backend: worker flavor — ``"serial"`` (default),
+        ``"threads"`` (GIL-bound thread pool), or ``"processes"``
+        (process-resident per-machine sub-schedulers; the session
+        releases them, syncing state back, when the run ends).
     shard_parallel:
-        Sharded backend: run the per-machine workers on a thread pool.
+        Deprecated alias for ``shard_workers="threads"``.
     verify:
         ``"incremental"`` (default), ``"full"``, or ``"off"``.
     full_audit_every:
@@ -195,6 +201,7 @@ def run_engine(
         batch_size=batch_size,
         atomic_batches=atomic_batches,
         backend=backend,
+        shard_workers=shard_workers,
         shard_parallel=shard_parallel,
         verify=verify,
         full_audit_every=(full_audit_every if full_audit_every is not None
@@ -261,6 +268,7 @@ def run_sweep(
     batch_size: int = 1,
     atomic_batches: bool = False,
     backend: "str | DriveBackend" = "auto",
+    shard_workers: str | None = None,
     shard_parallel: bool = False,
     verify: str = "incremental",
     full_audit_every: int | None = None,
@@ -307,6 +315,7 @@ def run_sweep(
                 batch_size=batch_size,
                 atomic_batches=atomic_batches,
                 backend=backend,
+                shard_workers=shard_workers,
                 shard_parallel=shard_parallel,
                 verify=verify,
                 full_audit_every=full_audit_every,

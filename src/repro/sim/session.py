@@ -24,7 +24,26 @@ all share now:
     sub-batch, and the per-shard touched logs merge back into the
     incrementally-maintained placement map with a merged-commit verify
     per batch. Requires a delegating scheduler stack
-    (``supports_sharded_batches()``).
+    (``supports_sharded_batches()``). ``workers`` selects the worker
+    flavor — ``"serial"`` / ``"threads"`` (in-process, GIL-bound) or
+    ``"processes"``: each machine's sub-scheduler lives persistently in
+    a worker process across bursts (state never ships per burst; only
+    op streams and per-op touched logs cross the pipe), the one flavor
+    with real parallelism on multicore hardware.
+
+    Process-worker lifecycle: the pool spawns lazily on the first
+    process burst, stays resident for the whole session, and is
+    released by the backend's ``finish`` hook when the session ends
+    (state syncs back into the in-memory scheduler, so the final audit
+    and any later in-memory use see live sub-schedulers). Failure
+    semantics: every sharded burst is transactional — a shard failure
+    or a worker-process crash rolls the whole burst back before
+    anything merges, crashed workers are re-seeded from their last
+    state snapshot plus a committed op-stream replay, and the session's
+    normal failure policy sees the burst's error
+    (:class:`~repro.core.exceptions.WorkerCrashError` for crashes); the
+    scheduler remains usable, so a traced session can resume across a
+    worker restart.
 
   All three backends produce identical placements, ledger entries, and
   max-span tracking on the same sequence (property-tested); they differ
@@ -61,7 +80,11 @@ from itertools import islice
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
-from ..core.base import ReallocatingScheduler
+from ..core.base import (
+    ReallocatingScheduler,
+    SHARD_WORKER_MODES,
+    resolve_shard_worker_mode,
+)
 from ..core.costs import BatchResult, CostLedger, RequestCost
 from ..core.exceptions import InvalidRequestError, ReproError
 from ..core.requests import InsertJob, Request, iter_batches
@@ -113,11 +136,16 @@ class ExecutionPlan:
         ``"sequential"``, ``"batched"``, ``"sharded"``, ``"auto"``
         (batched when ``batch_size > 1``, else sequential), or a
         ready-made :class:`DriveBackend` instance.
+    shard_workers:
+        Sharded backend only: the worker flavor — ``"serial"``
+        (default), ``"threads"`` (in-process thread pool; identical
+        results, GIL-bound — see bench E12), or ``"processes"``
+        (process-resident per-machine sub-schedulers, the flavor with
+        real parallelism — see bench E13 and the module docstring for
+        lifecycle and failure semantics).
     shard_parallel:
-        Sharded backend only: run the per-machine workers on a thread
-        pool instead of serially. Results are identical either way;
-        under CPython's GIL this is an architecture demonstration, not
-        a speedup (see bench E12).
+        Deprecated alias: ``True`` means ``shard_workers="threads"``
+        (ignored when ``shard_workers`` is set explicitly).
     verify:
         ``"incremental"`` (default), ``"full"``, or ``"off"``.
     full_audit_every:
@@ -149,6 +177,7 @@ class ExecutionPlan:
     batch_size: int = 1
     atomic_batches: bool = False
     backend: "str | DriveBackend" = "auto"
+    shard_workers: str | None = None
     shard_parallel: bool = False
     verify: str = "incremental"
     full_audit_every: int = DEFAULT_FULL_AUDIT_EVERY
@@ -169,8 +198,19 @@ class ExecutionPlan:
         if isinstance(self.backend, str) and self.backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if (self.shard_workers is not None
+                and self.shard_workers not in SHARD_WORKER_MODES):
+            raise ValueError(
+                f"shard_workers must be one of {SHARD_WORKER_MODES}, "
+                f"got {self.shard_workers!r}")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+
+    @property
+    def resolved_shard_workers(self) -> str:
+        """The effective worker mode (deprecated flag folded in)."""
+        return resolve_shard_worker_mode(self.shard_workers,
+                                         self.shard_parallel)
 
 
 @dataclass
@@ -216,6 +256,14 @@ class DriveBackend:
     def apply(self, scheduler: ReallocatingScheduler, step) -> StepOutcome:
         raise NotImplementedError
 
+    def finish(self, scheduler: ReallocatingScheduler) -> None:
+        """Hook: release backend-held resources at session end.
+
+        Runs on every exit path (success, failure, interruption). The
+        sharded backend uses it to release process-resident shard
+        workers, syncing their state back into the scheduler.
+        """
+
 
 class SequentialBackend(DriveBackend):
     """The classic per-request loop: one ``scheduler.apply`` per step."""
@@ -255,15 +303,23 @@ class ShardedBackend(DriveBackend):
     one shard worker applies each machine's stream, and the per-shard
     touched logs merge into the incrementally-maintained placement map;
     the session then verifies the merged commit once per batch. Bursts
-    are always transactional (a shard failure rolls the burst back
-    wholesale).
+    are always transactional (a shard failure — or a worker-process
+    crash — rolls the burst back wholesale).
+
+    ``workers`` selects the worker flavor (``"serial"`` / ``"threads"``
+    / ``"processes"``); with ``"processes"`` the per-machine
+    sub-schedulers live in persistent worker processes for the whole
+    session and :meth:`finish` syncs their state back and releases them
+    on every exit path (see the module docstring for the lifecycle and
+    failure semantics).
     """
 
     name = "sharded"
     chunked = True
 
-    def __init__(self, *, parallel: bool = False) -> None:
-        self.parallel = parallel
+    def __init__(self, *, workers: str | None = None,
+                 parallel: bool = False) -> None:
+        self.workers = resolve_shard_worker_mode(workers, parallel)
 
     def prepare(self, scheduler, plan):
         if not scheduler.supports_sharded_batches():
@@ -278,9 +334,13 @@ class ShardedBackend(DriveBackend):
                             plan.batch_size)
 
     def apply(self, scheduler, step):
-        result = scheduler.apply_batch_sharded(step, parallel=self.parallel)
+        result = scheduler.apply_batch_sharded(step, workers=self.workers)
         return StepOutcome(processed=result.processed, batch=result,
                            error=result.error if result.failed else None)
+
+    def finish(self, scheduler):
+        if self.workers == "processes":
+            scheduler.close_shard_workers()
 
 
 def resolve_backend(plan: ExecutionPlan) -> DriveBackend:
@@ -294,7 +354,7 @@ def resolve_backend(plan: ExecutionPlan) -> DriveBackend:
         return SequentialBackend()
     if backend == "batched":
         return BatchedBackend(atomic=plan.atomic_batches)
-    return ShardedBackend(parallel=plan.shard_parallel)
+    return ShardedBackend(workers=plan.resolved_shard_workers)
 
 
 # ----------------------------------------------------------------------
@@ -581,6 +641,10 @@ class Session:
                     if not checkpoints or checkpoints[-1].processed != processed:
                         checkpoint()
                     break
+            # Release backend resources before the final audit so
+            # process-resident worker state is synced back and the audit
+            # (and any caller) sees live in-memory sub-schedulers.
+            backend.finish(scheduler)
             if verifier is not None and not interrupted:
                 ta = perf()
                 verifier.full_audit(scheduler)
@@ -591,6 +655,11 @@ class Session:
                 finish(failure)
                 raise
             return finish(failure)
+        finally:
+            # Safety net for the failure/interrupt exit paths (the
+            # success path already ran this before the final audit);
+            # idempotent — a released pool is a no-op.
+            backend.finish(scheduler)
         return finish()
 
     # ------------------------------------------------------------------

@@ -6,12 +6,19 @@ from .random_aligned import (
     saturated_aligned_jobs,
 )
 from .scenarios import (
+    SCENARIO_STREAMS,
     SCENARIOS,
     adversarial_span_mix_sequence,
     appointment_book_sequence,
     burst_arrivals_sequence,
     churn_storm_sequence,
     cluster_trace_sequence,
+    iter_adversarial_span_mix,
+    iter_appointment_book,
+    iter_burst_arrivals,
+    iter_churn_storm,
+    iter_cluster_trace,
+    iter_steady_state,
     steady_state_sequence,
 )
 
@@ -20,10 +27,17 @@ __all__ = [
     "random_aligned_sequence",
     "saturated_aligned_jobs",
     "SCENARIOS",
+    "SCENARIO_STREAMS",
     "appointment_book_sequence",
     "cluster_trace_sequence",
     "churn_storm_sequence",
     "adversarial_span_mix_sequence",
     "steady_state_sequence",
     "burst_arrivals_sequence",
+    "iter_appointment_book",
+    "iter_cluster_trace",
+    "iter_churn_storm",
+    "iter_adversarial_span_mix",
+    "iter_steady_state",
+    "iter_burst_arrivals",
 ]

@@ -32,18 +32,34 @@ requests):
   delete bursts, sized to match an ``apply_batch`` batch — the native
   workload of the batch-first request API.
 
+Streaming vs materialized
+-------------------------
+Every scenario exists in two shapes. The ``iter_*`` functions are lazy
+generators yielding one :class:`~repro.core.requests.Request` at a time:
+their working state is the *active* job set (bounded by the admission
+density, not the request count), so a 10^6-request stream runs in
+bounded memory and can feed a :class:`~repro.sim.session.Session`
+directly. The ``*_sequence`` functions materialize the same stream into
+a validated :class:`~repro.core.requests.RequestSequence` (identical
+content — the generators are deterministic given a seed, and the
+materialized form is just ``RequestSequence(iter_*(...))``). Use the
+registries to pick a shape by name: :data:`SCENARIOS` (materialized;
+the CLI's ``engine``/``sweep`` commands) or :data:`SCENARIO_STREAMS`
+(lazy).
+
 All generators enforce a target underallocation with the
 interval-density certificate so the reservation scheduler's assumptions
-hold, and all are deterministic given a seed. :data:`SCENARIOS` is the
-name -> builder registry the CLI's ``engine``/``sweep`` commands use.
+hold, and all are deterministic given a seed.
 """
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from ..core.job import Job
-from ..core.requests import DeleteJob, InsertJob, RequestSequence
+from ..core.requests import DeleteJob, InsertJob, Request, RequestSequence
 from ..core.window import Window
 from ..feasibility.hall import LaminarLoadTree
 
@@ -58,7 +74,7 @@ def _admit(tree: LaminarLoadTree, window: Window, m: int, gamma: int) -> bool:
     return tree.would_fit(window.aligned_within(), m, gamma)
 
 
-def appointment_book_sequence(
+def iter_appointment_book(
     *,
     days: int = 8,
     slots_per_day: int = 32,
@@ -66,7 +82,7 @@ def appointment_book_sequence(
     cancel_fraction: float = 0.25,
     gamma: int = 8,
     seed: int = 0,
-) -> RequestSequence:
+) -> Iterator[Request]:
     """Doctor's-office appointment churn (paper Section 1 motivation).
 
     Slots are e.g. 15-minute increments; a patient asks for a window
@@ -77,9 +93,9 @@ def appointment_book_sequence(
     horizon_bits = (days * slots_per_day - 1).bit_length()
     horizon = 1 << horizon_bits
     tree = LaminarLoadTree(horizon)
-    seq = RequestSequence()
     active: list[str] = []
     uid = 0
+    emitted = 0
     flavors = [
         (2, 4),                      # "that specific hour"
         (4, 8),                      # "early afternoon"
@@ -87,11 +103,12 @@ def appointment_book_sequence(
         (slots_per_day, slots_per_day),            # "any time that day"
     ]
     tries = 80
-    while len(seq) < requests:
+    while emitted < requests:
         if active and rng.random() < cancel_fraction:
             victim = active.pop(int(rng.integers(len(active))))
             tree.remove(victim)
-            seq.append(DeleteJob(victim))
+            emitted += 1
+            yield DeleteJob(victim)
             continue
         placed = False
         for _ in range(tries):
@@ -105,8 +122,9 @@ def appointment_book_sequence(
                 job_id = f"patient{uid}"
                 uid += 1
                 tree.add(job_id, w.aligned_within())
-                seq.append(InsertJob(Job(job_id, w)))
                 active.append(job_id)
+                emitted += 1
+                yield InsertJob(Job(job_id, w))
                 placed = True
                 break
         if not placed:
@@ -114,11 +132,16 @@ def appointment_book_sequence(
                 raise RuntimeError("appointment book saturated with no patients")
             victim = active.pop(int(rng.integers(len(active))))
             tree.remove(victim)
-            seq.append(DeleteJob(victim))
-    return seq
+            emitted += 1
+            yield DeleteJob(victim)
 
 
-def cluster_trace_sequence(
+def appointment_book_sequence(**kwargs) -> RequestSequence:
+    """Materialized form of :func:`iter_appointment_book`."""
+    return RequestSequence(iter_appointment_book(**kwargs))
+
+
+def iter_cluster_trace(
     *,
     num_machines: int = 4,
     horizon: int = 1 << 12,
@@ -127,7 +150,7 @@ def cluster_trace_sequence(
     finish_fraction: float = 0.4,
     gamma: int = 8,
     seed: int = 0,
-) -> RequestSequence:
+) -> Iterator[Request]:
     """Bursty multiprocessor batch workload with deadlines.
 
     Jobs arrive in bursts around a moving "current time"; spans are
@@ -136,20 +159,21 @@ def cluster_trace_sequence(
     """
     rng = np.random.default_rng(seed)
     tree = LaminarLoadTree(horizon)
-    seq = RequestSequence()
     active: list[str] = []
     uid = 0
+    emitted = 0
     max_log = (horizon // 4).bit_length() - 1
-    while len(seq) < requests:
+    while emitted < requests:
         if active and rng.random() < finish_fraction:
             victim = active.pop(int(rng.integers(len(active))))
             tree.remove(victim)
-            seq.append(DeleteJob(victim))
+            emitted += 1
+            yield DeleteJob(victim)
             continue
         center = int(rng.integers(0, horizon))
         burst = int(rng.integers(1, burst_size + 1))
         for _ in range(burst):
-            if len(seq) >= requests:
+            if emitted >= requests:
                 break
             placed = False
             for _ in range(60):
@@ -161,21 +185,26 @@ def cluster_trace_sequence(
                     job_id = f"task{uid}"
                     uid += 1
                     tree.add(job_id, w.aligned_within())
-                    seq.append(InsertJob(Job(job_id, w)))
                     active.append(job_id)
+                    emitted += 1
+                    yield InsertJob(Job(job_id, w))
                     placed = True
                     break
             if not placed and active:
                 victim = active.pop(int(rng.integers(len(active))))
                 tree.remove(victim)
-                seq.append(DeleteJob(victim))
-    return seq
+                emitted += 1
+                yield DeleteJob(victim)
 
 
-def _try_insert(
+def cluster_trace_sequence(**kwargs) -> RequestSequence:
+    """Materialized form of :func:`iter_cluster_trace`."""
+    return RequestSequence(iter_cluster_trace(**kwargs))
+
+
+def _draw_insert(
     rng: np.random.Generator,
     tree: LaminarLoadTree,
-    seq: RequestSequence,
     active: list,
     *,
     horizon: int,
@@ -186,8 +215,12 @@ def _try_insert(
     prefix: str,
     region: tuple[int, int] | None = None,
     tries: int = 64,
-) -> bool:
-    """Draw aligned windows until one passes the density admission test."""
+) -> InsertJob | None:
+    """Draw aligned windows until one passes the density admission test.
+
+    Returns the admitted insert request (already recorded in ``tree``
+    and ``active``) or None when every try failed.
+    """
     lo_exp, hi_exp = span_exps
     for _ in range(tries):
         span = 1 << int(rng.integers(lo_exp, hi_exp + 1))
@@ -199,13 +232,12 @@ def _try_insert(
             job_id = f"{prefix}{uid[0]}"
             uid[0] += 1
             tree.add(job_id, w)
-            seq.append(InsertJob(Job(job_id, w)))
             active.append(job_id)
-            return True
-    return False
+            return InsertJob(Job(job_id, w))
+    return None
 
 
-def churn_storm_sequence(
+def iter_churn_storm(
     *,
     requests: int = 20_000,
     horizon: int = 1 << 14,
@@ -215,7 +247,7 @@ def churn_storm_sequence(
     gamma: int = 8,
     num_machines: int = 1,
     seed: int = 0,
-) -> RequestSequence:
+) -> Iterator[Request]:
     """Delete/reinsert-heavy churn: calm growth punctuated by storms.
 
     During a calm phase the active set grows under light churn; every
@@ -226,46 +258,58 @@ def churn_storm_sequence(
     """
     rng = np.random.default_rng(seed)
     tree = LaminarLoadTree(horizon)
-    seq = RequestSequence()
     active: list[str] = []
     uid = [0]
+    emitted = 0
     hi_exp = max_span.bit_length() - 1
-    while len(seq) < requests:
+    while emitted < requests:
         # calm phase: mostly inserts, light churn
-        calm_target = min(requests, len(seq) + calm_length)
-        while len(seq) < calm_target:
+        calm_target = min(requests, emitted + calm_length)
+        while emitted < calm_target:
             if active and rng.random() < 0.15:
                 victim = active.pop(int(rng.integers(len(active))))
                 tree.remove(victim)
-                seq.append(DeleteJob(victim))
+                emitted += 1
+                yield DeleteJob(victim)
                 continue
-            if not _try_insert(rng, tree, seq, active, horizon=horizon,
-                               span_exps=(0, hi_exp), num_machines=num_machines,
-                               gamma=gamma, uid=uid, prefix="c"):
+            req = _draw_insert(rng, tree, active, horizon=horizon,
+                               span_exps=(0, hi_exp),
+                               num_machines=num_machines,
+                               gamma=gamma, uid=uid, prefix="c")
+            if req is not None:
+                emitted += 1
+                yield req
+            else:
                 if not active:
                     raise RuntimeError("churn storm saturated with no jobs")
                 victim = active.pop(int(rng.integers(len(active))))
                 tree.remove(victim)
-                seq.append(DeleteJob(victim))
+                emitted += 1
+                yield DeleteJob(victim)
         # storm: delete a big slice of the active set back-to-back
         storm = int(len(active) * storm_fraction)
         for _ in range(storm):
-            if len(seq) >= requests or not active:
+            if emitted >= requests or not active:
                 break
             victim = active.pop(int(rng.integers(len(active))))
             tree.remove(victim)
-            seq.append(DeleteJob(victim))
-    return seq
+            emitted += 1
+            yield DeleteJob(victim)
 
 
-def adversarial_span_mix_sequence(
+def churn_storm_sequence(**kwargs) -> RequestSequence:
+    """Materialized form of :func:`iter_churn_storm`."""
+    return RequestSequence(iter_churn_storm(**kwargs))
+
+
+def iter_adversarial_span_mix(
     *,
     requests: int = 20_000,
     horizon: int = 1 << 14,
     gamma: int = 8,
     num_machines: int = 1,
     seed: int = 0,
-) -> RequestSequence:
+) -> Iterator[Request]:
     """Hostile span mixture concentrating every level on shared regions.
 
     Alternates bursts of tiny base-level jobs (spans 1-8) carpeting a
@@ -277,15 +321,16 @@ def adversarial_span_mix_sequence(
     """
     rng = np.random.default_rng(seed)
     tree = LaminarLoadTree(horizon)
-    seq = RequestSequence()
     active: list[str] = []
     uid = [0]
+    emitted = 0
     big_hi = (horizon // 4).bit_length() - 1
-    while len(seq) < requests:
+    while emitted < requests:
         if active and rng.random() < 0.3:
             victim = active.pop(int(rng.integers(len(active))))
             tree.remove(victim)
-            seq.append(DeleteJob(victim))
+            emitted += 1
+            yield DeleteJob(victim)
             continue
         # pick a shared battleground region of 256 slots
         region_start = int(rng.integers(0, horizon // 256)) * 256
@@ -293,30 +338,39 @@ def adversarial_span_mix_sequence(
         burst = int(rng.integers(4, 12))
         placed_any = False
         for i in range(burst):
-            if len(seq) >= requests:
+            if emitted >= requests:
                 break
             if i % 2 == 0:  # tiny job inside the battleground
-                ok = _try_insert(rng, tree, seq, active, horizon=horizon,
-                                 span_exps=(0, 3), num_machines=num_machines,
-                                 gamma=gamma, uid=uid, prefix="a",
-                                 region=region)
+                req = _draw_insert(rng, tree, active, horizon=horizon,
+                                   span_exps=(0, 3),
+                                   num_machines=num_machines,
+                                   gamma=gamma, uid=uid, prefix="a",
+                                   region=region)
             else:  # large job whose window covers the battleground
-                ok = _try_insert(rng, tree, seq, active, horizon=horizon,
-                                 span_exps=(8, max(8, big_hi)),
-                                 num_machines=num_machines,
-                                 gamma=gamma, uid=uid, prefix="A",
-                                 region=region)
-            placed_any = placed_any or ok
+                req = _draw_insert(rng, tree, active, horizon=horizon,
+                                   span_exps=(8, max(8, big_hi)),
+                                   num_machines=num_machines,
+                                   gamma=gamma, uid=uid, prefix="A",
+                                   region=region)
+            if req is not None:
+                emitted += 1
+                yield req
+                placed_any = True
         if not placed_any:
             if not active:
                 raise RuntimeError("adversarial mix saturated with no jobs")
             victim = active.pop(int(rng.integers(len(active))))
             tree.remove(victim)
-            seq.append(DeleteJob(victim))
-    return seq
+            emitted += 1
+            yield DeleteJob(victim)
 
 
-def burst_arrivals_sequence(
+def adversarial_span_mix_sequence(**kwargs) -> RequestSequence:
+    """Materialized form of :func:`iter_adversarial_span_mix`."""
+    return RequestSequence(iter_adversarial_span_mix(**kwargs))
+
+
+def iter_burst_arrivals(
     *,
     requests: int = 20_000,
     horizon: int = 1 << 14,
@@ -327,7 +381,7 @@ def burst_arrivals_sequence(
     gamma: int = 8,
     num_machines: int = 1,
     seed: int = 0,
-) -> RequestSequence:
+) -> Iterator[Request]:
     """Batch-shaped traffic: whole bursts of inserts, whole bursts of deletes.
 
     The batch-first request API serves traffic that arrives in bursts;
@@ -342,11 +396,11 @@ def burst_arrivals_sequence(
     """
     rng = np.random.default_rng(seed)
     tree = LaminarLoadTree(horizon)
-    seq = RequestSequence()
     active: list[str] = []
     uid = [0]
+    emitted = 0
     hi_exp = max_span.bit_length() - 1
-    while len(seq) < requests:
+    while emitted < requests:
         do_delete = (active
                      and rng.random() < 0.45
                      and len(active) > burst_size)
@@ -355,11 +409,12 @@ def burst_arrivals_sequence(
                         max(1, int(len(active) * delete_burst_fraction)),
                         burst_size)
             for _ in range(burst):
-                if len(seq) >= requests or not active:
+                if emitted >= requests or not active:
                     break
                 victim = active.pop(int(rng.integers(len(active))))
                 tree.remove(victim)
-                seq.append(DeleteJob(victim))
+                emitted += 1
+                yield DeleteJob(victim)
             continue
         # insert burst around a focus window
         focus_exp = int(rng.integers(0, hi_exp + 1))
@@ -367,28 +422,39 @@ def burst_arrivals_sequence(
         focus_start = int(rng.integers(0, horizon // focus_span)) * focus_span
         focus = (focus_start, focus_start + focus_span)
         for _ in range(burst_size):
-            if len(seq) >= requests:
+            if emitted >= requests:
                 break
             if rng.random() < same_window_bias:
-                ok = _try_insert(rng, tree, seq, active, horizon=horizon,
-                                 span_exps=(focus_exp, focus_exp),
-                                 num_machines=num_machines, gamma=gamma,
-                                 uid=uid, prefix="b", region=focus, tries=4)
-                if ok:
+                req = _draw_insert(rng, tree, active, horizon=horizon,
+                                   span_exps=(focus_exp, focus_exp),
+                                   num_machines=num_machines, gamma=gamma,
+                                   uid=uid, prefix="b", region=focus, tries=4)
+                if req is not None:
+                    emitted += 1
+                    yield req
                     continue
-            if not _try_insert(rng, tree, seq, active, horizon=horizon,
+            req = _draw_insert(rng, tree, active, horizon=horizon,
                                span_exps=(0, hi_exp),
                                num_machines=num_machines, gamma=gamma,
-                               uid=uid, prefix="b"):
+                               uid=uid, prefix="b")
+            if req is not None:
+                emitted += 1
+                yield req
+            else:
                 if not active:
                     raise RuntimeError("burst arrivals saturated with no jobs")
                 victim = active.pop(int(rng.integers(len(active))))
                 tree.remove(victim)
-                seq.append(DeleteJob(victim))
-    return seq
+                emitted += 1
+                yield DeleteJob(victim)
 
 
-def steady_state_sequence(
+def burst_arrivals_sequence(**kwargs) -> RequestSequence:
+    """Materialized form of :func:`iter_burst_arrivals`."""
+    return RequestSequence(iter_burst_arrivals(**kwargs))
+
+
+def iter_steady_state(
     *,
     requests: int = 50_000,
     horizon: int = 1 << 16,
@@ -397,7 +463,7 @@ def steady_state_sequence(
     gamma: int = 8,
     num_machines: int = 1,
     seed: int = 0,
-) -> RequestSequence:
+) -> Iterator[Request]:
     """Long-horizon steady state: ramp up, then hold the population.
 
     Inserts until ``target_active`` jobs are live, then alternates
@@ -408,17 +474,21 @@ def steady_state_sequence(
     """
     rng = np.random.default_rng(seed)
     tree = LaminarLoadTree(horizon)
-    seq = RequestSequence()
     active: list[str] = []
     uid = [0]
+    emitted = 0
     hi_exp = max_span.bit_length() - 1
-    while len(seq) < requests:
+    while emitted < requests:
         over = len(active) >= target_active
         do_delete = active and (over or rng.random() < 0.5 * len(active) / target_active)
         if not do_delete:
-            if _try_insert(rng, tree, seq, active, horizon=horizon,
-                           span_exps=(0, hi_exp), num_machines=num_machines,
-                           gamma=gamma, uid=uid, prefix="s"):
+            req = _draw_insert(rng, tree, active, horizon=horizon,
+                               span_exps=(0, hi_exp),
+                               num_machines=num_machines,
+                               gamma=gamma, uid=uid, prefix="s")
+            if req is not None:
+                emitted += 1
+                yield req
                 continue
             if not active:
                 raise RuntimeError("steady state saturated with no jobs")
@@ -426,13 +496,19 @@ def steady_state_sequence(
         if do_delete:
             victim = active.pop(int(rng.integers(len(active))))
             tree.remove(victim)
-            seq.append(DeleteJob(victim))
-    return seq
+            emitted += 1
+            yield DeleteJob(victim)
+
+
+def steady_state_sequence(**kwargs) -> RequestSequence:
+    """Materialized form of :func:`iter_steady_state`."""
+    return RequestSequence(iter_steady_state(**kwargs))
 
 
 #: name -> builder(requests, seed, num_machines) used by the CLI engine
-#: and sweep commands. Every builder returns a deterministic sequence
-#: sized to ``requests``.
+#: and sweep commands. Every builder returns a deterministic
+#: *materialized* sequence sized to ``requests``; the lazy twins live in
+#: :data:`SCENARIO_STREAMS`.
 SCENARIOS = {
     "appointments": lambda requests, seed, num_machines: appointment_book_sequence(
         requests=requests, seed=seed,
@@ -446,6 +522,27 @@ SCENARIOS = {
     "burst-arrivals": lambda requests, seed, num_machines: burst_arrivals_sequence(
         requests=requests, seed=seed, num_machines=num_machines),
     "steady-state": lambda requests, seed, num_machines: steady_state_sequence(
+        requests=requests, seed=seed, num_machines=num_machines,
+        target_active=max(64, requests // 25)),
+}
+
+#: name -> builder(requests, seed, num_machines) returning the *lazy*
+#: generator form: identical request-for-request to the materialized
+#: builder of the same name, but with memory bounded by the active set
+#: (10^6-request streams never build a full list).
+SCENARIO_STREAMS = {
+    "appointments": lambda requests, seed, num_machines: iter_appointment_book(
+        requests=requests, seed=seed,
+        days=max(8, requests // 50), slots_per_day=32),
+    "cluster": lambda requests, seed, num_machines: iter_cluster_trace(
+        requests=requests, seed=seed, num_machines=max(1, num_machines)),
+    "churn-storm": lambda requests, seed, num_machines: iter_churn_storm(
+        requests=requests, seed=seed, num_machines=num_machines),
+    "adversarial-mix": lambda requests, seed, num_machines: iter_adversarial_span_mix(
+        requests=requests, seed=seed, num_machines=num_machines),
+    "burst-arrivals": lambda requests, seed, num_machines: iter_burst_arrivals(
+        requests=requests, seed=seed, num_machines=num_machines),
+    "steady-state": lambda requests, seed, num_machines: iter_steady_state(
         requests=requests, seed=seed, num_machines=num_machines,
         target_active=max(64, requests // 25)),
 }
