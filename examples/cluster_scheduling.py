@@ -1,14 +1,17 @@
 #!/usr/bin/env python
 """Multiprocessor batch scheduling with bounded migrations.
 
-Run:  python examples/cluster_scheduling.py
+Run:  PYTHONPATH=src python examples/cluster_scheduling.py
 
 The multi-machine setting of Theorem 1: batch tasks with deadlines
 arrive in bursts on an m-machine cluster and finish (depart) over time.
 Migrating a task between machines is expensive (state transfer), so we
 track migrations separately from same-machine reallocations — the
 paper's central cost split. Theorem 1 promises at most ONE migration per
-request; EDF-style rebuilds migrate freely.
+request; EDF-style rebuilds migrate freely. (For driving bursts of a
+cluster trace through the batched or sharded backends, see
+``session_backends.py`` — ``run_comparison`` here is the sequential
+``Session`` adapter.)
 """
 
 from repro.baselines import EDFRebuildScheduler

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """The doctor's office from the paper's introduction, end to end.
 
-Run:  python examples/doctors_office.py
+Run:  PYTHONPATH=src python examples/doctors_office.py
 
 Patients phone in with availability windows; some cancel. The scheduler
 (the paper's ophthalmologist) reschedules existing patients to make
@@ -10,7 +10,9 @@ per booking*, since rescheduled patients are unhappy patients.
 
 We compare the paper's reservation scheduler against the naive policy of
 recomputing an earliest-deadline-first schedule after every change,
-which reschedules large swaths of the book.
+which reschedules large swaths of the book. ``run_comparison`` is a
+thin adapter over the unified ``Session`` drive loop (``repro.sim``) —
+the same loop the CLI's demo/engine/sweep commands use.
 """
 
 from repro.baselines import EDFRebuildScheduler, MinChangeMatchingScheduler

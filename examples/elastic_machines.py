@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Elastic machine pools: exploring a Section 7 open question.
 
-Run:  python examples/elastic_machines.py
+Run:  PYTHONPATH=src python examples/elastic_machines.py
 
 The paper asks: "What happens if new machines can be added or dropped
 from the schedule?" This example runs a cluster that scales from 2 to 4

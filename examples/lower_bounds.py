@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Why underallocation is necessary: the paper's lower bounds, live.
 
-Run:  python examples/lower_bounds.py
+Run:  PYTHONPATH=src python examples/lower_bounds.py
 
 Section 6 of the paper shows that without slack, cheap reallocation is
 impossible for *any* scheduler:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Quickstart: the Theorem 1 reallocating scheduler in 60 seconds.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
 
 Demonstrates the core loop of the paper's model: jobs with time windows
 arrive and depart online; the scheduler keeps a feasible schedule at all

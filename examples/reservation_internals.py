@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """A guided tour of the reservation system's internals (Figure 1, live).
 
-Run:  python examples/reservation_internals.py
+Run:  PYTHONPATH=src python examples/reservation_internals.py
 
 Builds a tiny instance by hand and dumps, step by step, the state the
 paper's proofs reason about: per-interval reservations (baseline +

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """The unified execution API: one Session, pluggable drive backends.
 
-Run:  python examples/session_backends.py
+Run:  PYTHONPATH=src python examples/session_backends.py
 
 Every execution surface in this repo (the classic driver, the batch
 engine, sweeps, benchmarks) drives requests through ONE loop:

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Docs checker: quoted commands must run, links must resolve.
+
+Used by the CI ``docs`` job. Two passes over the repo's Markdown:
+
+1. **Command check** — every fenced ``bash`` block in README.md and
+   docs/*.md is executed line by line (continuation backslashes
+   joined, comment lines skipped) from the repo root with
+   ``PYTHONPATH=src``. A quoted command that exits non-zero fails the
+   job, so the README can never drift from the CLI. Lines invoking
+   ``-m pytest`` are skipped here — the tier-1 and bench-smoke CI
+   steps run those suites directly — and reported as such.
+2. **Link check** — every ``[text](target)`` in every tracked *.md is
+   resolved: relative targets must exist on disk (anchors stripped);
+   http(s) targets are format-checked only (CI has no network
+   guarantees).
+
+Run locally:  python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+COMMAND_DOCS = ["README.md", "docs/ARCHITECTURE.md"]
+
+#: raw paper/snippet retrieval artifacts — their bodies quote external
+#: markdown verbatim (inline figures etc.), not links this repo owns
+LINK_CHECK_EXCLUDE = {"PAPERS.md", "SNIPPETS.md"}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+
+def iter_markdown() -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md", "**/*.md"], cwd=REPO,
+        capture_output=True, text=True, check=True,
+    )
+    files = sorted({REPO / line for line in out.stdout.splitlines() if line})
+    return [f for f in files
+            if f.is_file() and f.name not in LINK_CHECK_EXCLUDE]
+
+
+def extract_bash_blocks(path: Path) -> list[list[str]]:
+    blocks: list[list[str]] = []
+    current: list[str] | None = None
+    for line in path.read_text().splitlines():
+        m = FENCE_RE.match(line.strip())
+        if m:
+            if current is not None:
+                blocks.append(current)
+                current = None
+            elif m.group(1) == "bash":
+                current = []
+            continue
+        if current is not None:
+            current.append(line)
+    return blocks
+
+
+def join_continuations(lines: list[str]) -> list[str]:
+    commands: list[str] = []
+    buf = ""
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or (stripped.startswith("#") and not buf):
+            continue
+        if stripped.endswith("\\"):
+            buf += stripped[:-1] + " "
+            continue
+        commands.append((buf + stripped).strip())
+        buf = ""
+    if buf:
+        commands.append(buf.strip())
+    return commands
+
+
+def check_commands() -> int:
+    failures = 0
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        "src" + (os.pathsep + env["PYTHONPATH"] if "PYTHONPATH" in env else "")
+    )
+    for doc in COMMAND_DOCS:
+        path = REPO / doc
+        if not path.exists():
+            print(f"FAIL {doc}: missing")
+            failures += 1
+            continue
+        for block in extract_bash_blocks(path):
+            for cmd in join_continuations(block):
+                if "-m pytest" in cmd:
+                    print(f"skip {doc}: {cmd!r} (covered by tier-1/bench "
+                          "CI steps)")
+                    continue
+                print(f"run  {doc}: {cmd!r}")
+                proc = subprocess.run(
+                    cmd, shell=True, cwd=REPO, env=env,
+                    stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+                    text=True, timeout=600,
+                )
+                if proc.returncode != 0:
+                    print(f"FAIL {doc}: {cmd!r} exited "
+                          f"{proc.returncode}\n{proc.stderr[-2000:]}")
+                    failures += 1
+    return failures
+
+
+def check_links() -> int:
+    failures = 0
+    checked = 0
+    for md in iter_markdown():
+        rel = md.relative_to(REPO)
+        for target in LINK_RE.findall(md.read_text()):
+            checked += 1
+            if target.startswith(("http://", "https://")):
+                if " " in target:
+                    print(f"FAIL {rel}: malformed URL {target!r}")
+                    failures += 1
+                continue
+            if target.startswith(("#", "mailto:")):
+                continue
+            local = target.split("#", 1)[0]
+            resolved = (md.parent / local).resolve()
+            if not resolved.exists():
+                print(f"FAIL {rel}: broken link {target!r}")
+                failures += 1
+    print(f"link check: {checked} links scanned")
+    return failures
+
+
+def main() -> int:
+    failures = check_commands()
+    failures += check_links()
+    if failures:
+        print(f"\n{failures} docs failure(s)")
+        return 1
+    print("\ndocs ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -269,9 +269,20 @@ def cmd_bounds(args) -> int:
     return 0
 
 
+DEPRECATION_EPILOG = """\
+deprecated options:
+  --shard-parallel      superseded by --shard-workers; it maps to
+                        --shard-workers threads and warns. Use
+                        --shard-workers {serial,threads,processes}
+                        instead ('processes' is the flavor with real
+                        parallelism). The alias will be removed once
+                        downstream scripts have migrated.
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro", description=__doc__,
+        prog="repro", description=__doc__, epilog=DEPRECATION_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -325,7 +336,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="end the run gracefully after this many "
                             "requests this session (0 = run to the end)")
 
-    p = sub.add_parser("demo", help="run the Theorem 1 scheduler once")
+    def add_batch_parser(name, help_text):
+        p = sub.add_parser(
+            name, help=help_text, epilog=DEPRECATION_EPILOG,
+            formatter_class=argparse.RawDescriptionHelpFormatter)
+        return p
+
+    p = add_batch_parser("demo", "run the Theorem 1 scheduler once")
     add_workload_args(p)
     add_batch_args(p)
     p.set_defaults(func=cmd_demo)
@@ -337,7 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
                         f"{sorted(SCHEDULERS)}")
     p.set_defaults(func=cmd_compare)
 
-    p = sub.add_parser("engine", help="run one scenario through the batch engine")
+    p = add_batch_parser("engine", "run one scenario through the batch engine")
     p.add_argument("--scenario", default="steady-state",
                    help=f"one of {sorted(SCENARIOS)}")
     p.add_argument("--scheduler", default="reservation")
@@ -352,7 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace_args(p)
     p.set_defaults(func=cmd_engine)
 
-    p = sub.add_parser("sweep", help="run every scenario x scheduler cell")
+    p = add_batch_parser("sweep", "run every scenario x scheduler cell")
     p.add_argument("--scenarios", default="",
                    help=f"comma-separated subset of {sorted(SCENARIOS)}")
     p.add_argument("--schedulers", default="",

@@ -56,6 +56,11 @@ class ReservationScheduler(ReallocatingScheduler):
         with Theta(n) rebuild spikes. Requires twice the slack
         (2*gamma-underallocated instances) and aligned spans >= 2, so
         original windows must have span >= 5 to survive ALIGNED().
+    journal:
+        Undo-journal representation of the per-machine reservation
+        schedulers: ``"arena"`` (default — tuple-opcode entries on a
+        reusable arena) or ``"closure"`` (the original closure journal,
+        kept as the rollback-equivalence test oracle).
 
     Example
     -------
@@ -79,23 +84,27 @@ class ReservationScheduler(ReallocatingScheduler):
         policy: LevelPolicy = PAPER_POLICY,
         trim: bool = True,
         deamortized: bool = False,
+        journal: str = "arena",
     ) -> None:
         super().__init__(num_machines=num_machines)
         self.gamma = gamma
         self.policy = policy
+        self.journal_impl = journal
         if deamortized:
             from ..reservation.deamortized import DeamortizedReservationScheduler
 
             def factory() -> ReallocatingScheduler:
-                return DeamortizedReservationScheduler(gamma=gamma, policy=policy)
+                return DeamortizedReservationScheduler(gamma=gamma, policy=policy,
+                                                       journal=journal)
         elif trim:
             def factory() -> ReallocatingScheduler:
-                return TrimmedReservationScheduler(gamma=gamma, policy=policy)
+                return TrimmedReservationScheduler(gamma=gamma, policy=policy,
+                                                   journal=journal)
         else:
             from ..reservation.scheduler import AlignedReservationScheduler
 
             def factory() -> ReallocatingScheduler:
-                return AlignedReservationScheduler(policy)
+                return AlignedReservationScheduler(policy, journal=journal)
         self.delegator = DelegatingScheduler(num_machines, factory)
         #: per-batch memo of pre-aligned insert jobs (id -> queue)
         self._align_memo: dict[JobId, deque[Job]] = {}

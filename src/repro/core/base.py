@@ -72,10 +72,21 @@ def resolve_shard_worker_mode(workers: str | None,
     """Fold the deprecated ``parallel`` flag into one validated mode.
 
     An explicit ``workers`` always wins; ``parallel=True`` alone is the
-    legacy spelling of ``"threads"``. Every ``workers=`` entry point
-    (delegation, session backend, execution plan) resolves through
-    here, so a new mode needs adding in exactly one place.
+    legacy spelling of ``"threads"`` and raises a
+    :class:`DeprecationWarning` pointing at ``workers=`` (the CLI's
+    ``--shard-parallel`` alias warns the same way toward
+    ``--shard-workers``). Every ``workers=`` entry point (delegation,
+    session backend, execution plan) resolves through here, so a new
+    mode needs adding in exactly one place.
     """
+    if workers is None and parallel:
+        import warnings
+
+        warnings.warn(
+            "parallel=True is deprecated; use workers='threads' "
+            "(or workers='processes' for real parallelism)",
+            DeprecationWarning, stacklevel=3,
+        )
     mode = workers if workers is not None else (
         "threads" if parallel else "serial")
     if mode not in SHARD_WORKER_MODES:
@@ -182,6 +193,12 @@ class ReallocatingScheduler(abc.ABC):
         #: touched log of the most recent completed request (sparse mode
         #: only) — wrappers fold it into their own log via _merge_touched
         self.last_touched: dict[JobId, Placement | None] | None = None
+        #: spare touched dict recycled between requests (two-slot ring
+        #: with ``last_touched``): consumers read ``last_touched``
+        #: synchronously — before the next request on this scheduler —
+        #: so the dict from two requests ago is free for reuse. Saves
+        #: one dict allocation per request at every layer of a stack.
+        self._touched_spare: dict[JobId, Placement | None] | None = None
         #: span -> active-job count, for O(1) amortized max-span tracking
         self._span_counts: dict[int, int] = {}
         self._max_span_cache = 1
@@ -231,6 +248,37 @@ class ReallocatingScheduler(abc.ABC):
             if job_id not in t:
                 t[job_id] = old
 
+    def _touched_acquire(self) -> dict[JobId, Placement | None]:
+        """An empty touched dict for the starting request (ring reuse)."""
+        spare = self._touched_spare
+        if spare is None:
+            return {}
+        self._touched_spare = None
+        return spare
+
+    def _touched_publish(
+        self, touched: dict[JobId, Placement | None] | None
+    ) -> None:
+        """Expose ``touched`` as ``last_touched``, recycling the old one.
+
+        The previous ``last_touched`` was consumed by every parent
+        before this request began (the synchronous-merge contract), so
+        it can be cleared and parked as the next request's dict.
+        """
+        prev = self.last_touched
+        self.last_touched = touched
+        if prev is not None and prev is not touched:
+            prev.clear()
+            self._touched_spare = prev
+
+    def _touched_recycle(
+        self, touched: dict[JobId, Placement | None] | None
+    ) -> None:
+        """Park a touched dict that will not be published (failure path)."""
+        if touched is not None and self._touched_spare is None:
+            touched.clear()
+            self._touched_spare = touched
+
     # ------------------------------------------------------------------
     # public online interface
     # ------------------------------------------------------------------
@@ -247,7 +295,7 @@ class ReallocatingScheduler(abc.ABC):
         costed = ctx is None or ctx.top or not sparse
         before = dict(self.placements) if (costed and not sparse) else None
         if sparse and (ctx is None or ctx.emit_touched):
-            self._touched = {}
+            self._touched = self._touched_acquire()
         self.jobs[job.id] = job
         try:
             self._apply_insert(job)
@@ -256,13 +304,14 @@ class ReallocatingScheduler(abc.ABC):
             touched, self._touched = self._touched, None
             if ctx is not None and ctx.atomic and touched:
                 ctx.merge_touched(touched)  # the abort must see these
+            self._touched_recycle(touched)
             raise
         self._span_add(job.span)
         if ctx is not None:
             ctx.note_insert(job)
         if sparse:
             touched, self._touched = self._touched, None
-            self.last_touched = touched
+            self._touched_publish(touched)
             if ctx is not None:
                 ctx.merge_touched(touched)
             if not costed:
@@ -298,13 +347,14 @@ class ReallocatingScheduler(abc.ABC):
         costed = ctx is None or ctx.top or not sparse
         before = dict(self.placements) if (costed and not sparse) else None
         if sparse and (ctx is None or ctx.emit_touched):
-            self._touched = {}
+            self._touched = self._touched_acquire()
         try:
             self._apply_delete(job)
         except Exception:
             touched, self._touched = self._touched, None
             if ctx is not None and ctx.atomic and touched:
                 ctx.merge_touched(touched)
+            self._touched_recycle(touched)
             raise
         del self.jobs[job_id]
         self._span_remove(job.span)
@@ -312,7 +362,7 @@ class ReallocatingScheduler(abc.ABC):
             ctx.note_delete(job)
         if sparse:
             touched, self._touched = self._touched, None
-            self.last_touched = touched
+            self._touched_publish(touched)
             if ctx is not None:
                 ctx.merge_touched(touched)
             if not costed:

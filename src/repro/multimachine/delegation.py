@@ -303,9 +303,11 @@ class ShardWorker:
     """Applies one machine's op stream to its single-machine scheduler.
 
     Workers are mutually independent: each touches only its own
-    sub-scheduler (whose atomic batch context the caller opened), so m
-    workers can run serially or on a thread pool with identical
-    results. Per op the worker records exactly what
+    sub-scheduler (whose atomic batch context the caller opened — the
+    context's rollback journal lives on that sub-scheduler's own
+    arena, so thread-pool workers share no journal state and
+    consecutive bursts reuse each sub's storage), so m workers can run
+    serially or on a thread pool with identical results. Per op the worker records exactly what
     :meth:`DelegatingScheduler._sync_machine` would read live — the
     changed job ids (``last_touched`` for sparse subs, the request cost
     for non-sparse ones, the subject always included) and their post-op

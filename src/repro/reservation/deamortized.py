@@ -82,6 +82,7 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
         *,
         min_n_star: int = 4,
         migrate_per_request: int = 2,
+        journal: str = "arena",
     ) -> None:
         super().__init__(num_machines=1)
         if gamma < 1 or gamma & (gamma - 1):
@@ -95,8 +96,9 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
         self.min_n_star = min_n_star
         self.n_star = min_n_star
         self.migrate_per_request = migrate_per_request
+        self.journal_impl = journal
         self.parity = 0
-        self.active = AlignedReservationScheduler(policy)
+        self.active = AlignedReservationScheduler(policy, journal=journal)
         self.incoming: AlignedReservationScheduler | None = None
         self.incoming_parity = 1
         #: job id -> parity of the inner scheduler holding it
@@ -105,6 +107,9 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
         self._placements: dict[JobId, Placement] = {}
         self.phases_started = 0
         self.bulk_finishes = 0
+        #: journal entries recorded by outgoing inners retired at phase
+        #: end (``journal_entries_total`` folds the live inners back in)
+        self._journal_entries_carry = 0
 
     # ------------------------------------------------------------------
     # geometry
@@ -196,7 +201,8 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
         self.n_star = new_n_star
         self.phases_started += 1
         self.incoming_parity = 1 - self.parity
-        self.incoming = AlignedReservationScheduler(self.policy)
+        self.incoming = AlignedReservationScheduler(self.policy,
+                                                    journal=self.journal_impl)
         ctx = self._batch
         if ctx is not None:
             # A phase opened mid-atomic-batch drains into a scheduler an
@@ -232,10 +238,19 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
 
     def _finish_phase(self) -> None:
         assert self.incoming is not None
+        self._journal_entries_carry += self.active.journal_entries_total
         self.active = self.incoming
         self.parity = self.incoming_parity
         self.incoming = None
         self.incoming_parity = 1 - self.parity
+
+    @property
+    def journal_entries_total(self) -> int:
+        """Lifetime undo-journal entries, retired phase inners included."""
+        total = self._journal_entries_carry + self.active.journal_entries_total
+        if self.incoming is not None:
+            total += self.incoming.journal_entries_total
+        return total
 
     # ------------------------------------------------------------------
     # batch lifecycle
@@ -252,7 +267,7 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
             self._batch.saved["deam"] = (
                 self.parity, self.incoming_parity, self.active,
                 self.incoming, self.n_star, self.phases_started,
-                self.bulk_finishes,
+                self.bulk_finishes, self._journal_entries_carry,
             )
         self.active._batch_begin(atomic=atomic, top=False, ephemeral=ephemeral)
         if self.incoming is not None:
@@ -267,8 +282,8 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
 
     def _batch_restore(self, ctx) -> None:
         (self.parity, self.incoming_parity, self.active, self.incoming,
-         self.n_star, self.phases_started, self.bulk_finishes) = \
-            ctx.saved["deam"]
+         self.n_star, self.phases_started, self.bulk_finishes,
+         self._journal_entries_carry) = ctx.saved["deam"]
         self.active._batch_abort()
         if self.incoming is not None:
             self.incoming._batch_abort()

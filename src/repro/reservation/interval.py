@@ -36,7 +36,13 @@ when nothing changed since the last reconciliation. The optional
 ``on_assign`` / ``on_release`` hooks notify the owning scheduler of
 assignment changes so it can maintain per-window backed-slot indexes,
 and when ``undo_log`` is set every mutation appends its exact inverse —
-the scheduler's failed-request rollback journal.
+the scheduler's failed-request rollback journal. Journal entries are
+tuple opcodes (one allocation each, dispatched by
+:func:`~repro.reservation.journal.replay_entries`); setting
+``closure_undo`` switches an interval to the original closure-per-entry
+representation, kept as the rollback-equivalence oracle (the
+``_closure_*`` helpers are the pre-arena implementation verbatim,
+out-of-line so the hot path pays no cell-variable setup for them).
 """
 
 from __future__ import annotations
@@ -47,6 +53,14 @@ from typing import Callable
 
 from ..core.job import JobId
 from ..core.window import Window, aligned_window_covering
+from .journal import (
+    OP_ASSIGN,
+    OP_DYNAMIC,
+    OP_LOWERED,
+    OP_RAISED,
+    OP_RELEASE,
+    OP_SWAP,
+)
 
 
 @dataclass
@@ -72,6 +86,9 @@ class Interval:
     #: when set (by the scheduler, per request), every mutation appends
     #: its inverse here — replayed in reverse to roll back a failed request
     undo_log: list | None = field(default=None, repr=False, compare=False)
+    #: True switches undo entries from tuple opcodes to the original
+    #: per-mutation closures (the journal-equivalence test oracle)
+    closure_undo: bool = field(default=False, repr=False, compare=False)
     #: cached enclosing-window tuple (immutable geometry, lazily built)
     _windows: tuple[Window, ...] | None = field(
         default=None, repr=False, compare=False)
@@ -268,7 +285,12 @@ class Interval:
         self._invalidate()
         log = self.undo_log
         if log is not None:
-            log.append(lambda: self._undo_dynamic(window, delta))
+            log.append(self._closure_dynamic(window, delta)
+                       if self.closure_undo
+                       else (OP_DYNAMIC, self, window, delta))
+
+    def _closure_dynamic(self, window: Window, delta: int):
+        return lambda: self._undo_dynamic(window, delta)
 
     def _undo_dynamic(self, window: Window, delta: int) -> None:
         new = self.dynamic_res.get(window, 0) - delta
@@ -297,7 +319,12 @@ class Interval:
             self.on_assign(window, slot)
         log = self.undo_log
         if log is not None:
-            log.append(lambda: self._undo_assign(window, pos, slot))
+            log.append(self._closure_assign(window, pos, slot)
+                       if self.closure_undo
+                       else (OP_ASSIGN, self, window, pos, slot))
+
+    def _closure_assign(self, window: Window, pos: int, slot: int):
+        return lambda: self._undo_assign(window, pos, slot)
 
     def _undo_assign(self, window: Window, pos: int, slot: int) -> None:
         have = self.assigned.get(window)
@@ -324,7 +351,12 @@ class Interval:
             self.on_release(window, slot)
         log = self.undo_log
         if log is not None:
-            log.append(lambda: self._undo_release(window, pos, slot))
+            log.append(self._closure_release(window, pos, slot)
+                       if self.closure_undo
+                       else (OP_RELEASE, self, window, pos, slot))
+
+    def _closure_release(self, window: Window, pos: int, slot: int):
+        return lambda: self._undo_release(window, pos, slot)
 
     def _undo_release(self, window: Window, pos: int, slot: int) -> None:
         self.assigned.setdefault(window, set()).add(slot)
@@ -363,7 +395,12 @@ class Interval:
         self._invalidate()
         log = self.undo_log
         if log is not None:
-            log.append(lambda: self._undo_slot_lowered(slot, owner))
+            log.append(self._closure_slot_lowered(slot, owner)
+                       if self.closure_undo
+                       else (OP_LOWERED, self, slot, owner))
+
+    def _closure_slot_lowered(self, slot: int, owner: Window | None):
+        return lambda: self._undo_slot_lowered(slot, owner)
 
     def _undo_slot_lowered(self, slot: int, owner: Window | None) -> None:
         self.lower_occupied.discard(slot)
@@ -385,7 +422,12 @@ class Interval:
         self._invalidate()
         log = self.undo_log
         if log is not None:
-            log.append(lambda: self._undo_slot_raised(slot))
+            log.append(self._closure_slot_raised(slot)
+                       if self.closure_undo
+                       else (OP_RAISED, self, slot))
+
+    def _closure_slot_raised(self, slot: int):
+        return lambda: self._undo_slot_raised(slot)
 
     def _undo_slot_raised(self, slot: int) -> None:
         self.lower_occupied.add(slot)
@@ -498,7 +540,11 @@ class Interval:
         if log is not None:
             # the raw swap is an involution; hooks are not refired on
             # undo (the scheduler's window-state journal restores those)
-            log.append(lambda: self._swap_raw(s1, s2, fire_hooks=False))
+            log.append(self._closure_swap(s1, s2) if self.closure_undo
+                       else (OP_SWAP, self, s1, s2))
+
+    def _closure_swap(self, s1: int, s2: int):
+        return lambda: self._swap_raw(s1, s2, fire_hooks=False)
 
     def _swap_raw(self, s1: int, s2: int, *, fire_hooks: bool) -> None:
         in1 = s1 in self.lower_occupied

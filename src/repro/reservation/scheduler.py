@@ -58,6 +58,16 @@ setup/teardown and the three placement-map journal entries per
 mutation disappear entirely, while a mid-batch failure still restores
 the exact pre-batch state.
 
+Journal representation (the allocation diet): undo entries are tuple
+opcodes replayed by one dispatch loop, and both the per-request journal
+and the atomic batch log live on a per-scheduler
+:class:`~repro.reservation.journal.UndoArena` — reusable containers
+with watermark truncation, so steady-state request processing allocates
+one tuple per recorded mutation and nothing else. Constructing with
+``journal="closure"`` selects the original closure-per-entry journal
+with fresh per-request containers, kept as the rollback-equivalence
+oracle for the property tests and bench E11b.
+
 The scheduler requires *aligned* windows and sufficient underallocation
 (Lemma 8 needs 8-underallocation); when slack runs out it raises
 :class:`UnderallocationError` and poisons itself — wrap with the
@@ -80,9 +90,34 @@ from ..core.job import Job, JobId, Placement
 from ..core.window import Window
 from ..levels.policy import LevelPolicy, PAPER_POLICY
 from .interval import Interval
+from .journal import OP_POP, OP_SET, OP_WINDOW_STATE, UndoArena, replay_entries
 from .window_state import WindowState, rr_diff
 
 _MISSING = object()
+
+
+def _closure_pop(d: dict, key):
+    """Closure-journal oracle entry equivalent to ``(OP_POP, d, key)``."""
+    return lambda: d.pop(key, None)
+
+
+def _closure_set(d: dict, key, old):
+    """Closure-journal oracle entry equivalent to ``(OP_SET, d, key, old)``."""
+    return lambda: d.__setitem__(key, old)
+
+
+def _closure_window_state(ws: WindowState):
+    """Closure-journal oracle entry restoring a window state snapshot."""
+    jobs = set(ws.jobs)
+    empty = ws.backed_empty.snapshot()
+    covered = ws.backed_covered.snapshot()
+
+    def undo() -> None:
+        ws.jobs = jobs
+        ws.backed_empty.restore(empty)
+        ws.backed_covered.restore(covered)
+
+    return undo
 
 
 class _AtomicBatchLog:
@@ -97,15 +132,32 @@ class _AtomicBatchLog:
     (id-keyed dedup); placement maps rewind from the batch-level touched
     log. :meth:`AlignedReservationScheduler._batch_restore` replays the
     journal backwards and reinstates the snapshots on abort.
+
+    When an :class:`~repro.reservation.journal.UndoArena` is supplied
+    the log borrows the arena's containers instead of allocating fresh
+    ones — worker-resident schedulers open one atomic context per burst,
+    so the same storage serves every burst of a worker's lifetime.
+    Ephemeral (discard-on-abort) schedulers and the closure-journal
+    oracle keep cheap private containers.
     """
 
     __slots__ = ("seen", "journal", "journal_ivs", "windows", "dicts",
-                 "created", "track")
+                 "created", "track", "arena")
 
-    def __init__(self, *, track: bool = True) -> None:
+    def __init__(self, arena: UndoArena | None = None, *,
+                 track: bool = True) -> None:
         #: False for ephemeral (discard-on-abort) schedulers: the
         #: journal stays off and nothing is recorded either
         self.track = track
+        self.arena = arena if track else None
+        if self.arena is not None:
+            self.seen = arena.seen
+            self.journal = arena.entries
+            self.journal_ivs = arena.intervals
+            self.windows = arena.windows
+            self.dicts = arena.dicts
+            self.created = arena.created
+            return
         self.seen: set[int] = set()
         #: batch-wide undo journal shared by every touched interval
         self.journal: list = []
@@ -128,6 +180,11 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         Level decomposition (defaults to the paper's tower).
     tracer:
         Optional :class:`EventTracer` receiving fine-grained events.
+    journal:
+        Undo-journal representation: ``"arena"`` (default — tuple
+        opcodes on a reusable :class:`UndoArena`) or ``"closure"`` (the
+        original closure-per-entry journal with fresh per-request
+        containers, kept as the rollback-equivalence oracle).
     """
 
     _sparse_costing = True
@@ -140,10 +197,21 @@ class AlignedReservationScheduler(ReallocatingScheduler):
     _journal_enabled = True
 
     def __init__(self, policy: LevelPolicy = PAPER_POLICY, *,
-                 tracer: EventTracer | NullTracer | None = None) -> None:
+                 tracer: EventTracer | NullTracer | None = None,
+                 journal: str = "arena") -> None:
         super().__init__(num_machines=1)
+        if journal not in ("arena", "closure"):
+            raise ValueError(
+                f"journal must be 'arena' or 'closure', got {journal!r}")
         self.policy = policy
         self.tracer = tracer if tracer is not None else NullTracer()
+        self._closure_journal = journal == "closure"
+        #: reusable journal storage (per-request and per-atomic-batch);
+        #: process-local scratch, rebuilt fresh after unpickling
+        self._arena = UndoArena()
+        #: oracle-mode share of the journal-entry diagnostic counter
+        #: (arena mode counts in ``self._arena.entries_total``)
+        self._journal_entries_closure = 0
         #: slot -> job id (single machine, so slots are global)
         self.slot_job: dict[int, JobId] = {}
         #: job id -> slot
@@ -198,10 +266,14 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         state = self.__dict__.copy()
         del state["_assign_hooks"]
         del state["_release_hooks"]
+        # the arena is process-local scratch (empty at every legal
+        # serialization point); the restored scheduler gets a fresh one
+        del state["_arena"]
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self._arena = UndoArena()
         levels = range(1, self.policy.num_reservation_levels + 1)
         self._assign_hooks = {lv: self._make_assign_hook(lv) for lv in levels}
         self._release_hooks = {lv: self._make_release_hook(lv) for lv in levels}
@@ -228,7 +300,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         level = self.policy.level_of_span(job.span)
         journaled = self._abatch is None and self._journal_enabled
         if journaled:
-            self._journal, self._jseen, self._jtouched = [], set(), []
+            self._journal_acquire()
         try:
             self._jdict(self._job_levels, job.id)
             self._job_levels[job.id] = level
@@ -243,15 +315,13 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             raise
         finally:
             if journaled:
-                for iv in self._jtouched:
-                    iv.undo_log = None
-                self._journal = self._jseen = self._jtouched = None
+                self._journal_release()
 
     def _apply_delete(self, job: Job) -> None:
         self._check_usable()
         journaled = self._abatch is None and self._journal_enabled
         if journaled:
-            self._journal, self._jseen, self._jtouched = [], set(), []
+            self._journal_acquire()
         try:
             level = self._job_levels[job.id]
             self._jdict(self._job_levels, job.id)
@@ -271,17 +341,56 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             raise
         finally:
             if journaled:
-                for iv in self._jtouched:
-                    iv.undo_log = None
-                self._journal = self._jseen = self._jtouched = None
+                self._journal_release()
 
     # ------------------------------------------------------------------
     # undo journal (failed-request rollback)
     # ------------------------------------------------------------------
+    def _journal_acquire(self) -> None:
+        """Open the per-request journal scope.
+
+        Arena mode borrows the scheduler's reusable containers (no
+        allocations); the closure oracle allocates the original fresh
+        ``[], set(), []`` triple per request.
+        """
+        if self._closure_journal:
+            self._journal, self._jseen, self._jtouched = [], set(), []
+        else:
+            arena = self._arena
+            self._journal = arena.entries
+            self._jseen = arena.seen
+            self._jtouched = arena.intervals
+
+    def _journal_release(self) -> None:
+        """Close the per-request journal scope (detach + truncate)."""
+        for iv in self._jtouched:
+            iv.undo_log = None
+        if self._closure_journal:
+            self._journal_entries_closure += len(self._journal)
+        else:
+            self._arena.truncate()
+        self._journal = self._jseen = self._jtouched = None
+
     def _rollback(self) -> None:
         """Replay the undo journal in reverse, restoring pre-request state."""
-        for undo in reversed(self._journal):
-            undo()
+        replay_entries(self._journal)
+
+    @property
+    def journal_entries_total(self) -> int:
+        """Undo-journal entries recorded over this scheduler's lifetime.
+
+        Diagnostic counter for the allocation-diet accounting (bench
+        E11b): each entry is one tuple in arena mode versus one closure
+        (function object + closure tuple + cells) in oracle mode.
+        Process-local (resets when a scheduler crosses a pickle
+        boundary).
+        """
+        return self._arena.entries_total + self._journal_entries_closure
+
+    @property
+    def journal_impl(self) -> str:
+        """The journal representation in use: ``"arena"`` or ``"closure"``."""
+        return "closure" if self._closure_journal else "arena"
 
     def _jdict(self, d: dict, key) -> None:
         """Journal the pre-state of ``d[key]`` (first touch per request)."""
@@ -294,10 +403,13 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             return
         seen.add(token)
         old = d.get(key, _MISSING)
-        if old is _MISSING:
-            journal.append(lambda: d.pop(key, None))
+        if self._closure_journal:
+            journal.append(_closure_pop(d, key) if old is _MISSING
+                           else _closure_set(d, key, old))
+        elif old is _MISSING:
+            journal.append((OP_POP, d, key))
         else:
-            journal.append(lambda: d.__setitem__(key, old))
+            journal.append((OP_SET, d, key, old))
 
     def _jtouch(self, iv: Interval) -> None:
         """Guard an interval's state (first touch per request or batch).
@@ -331,16 +443,12 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             if token in seen:
                 return
             seen.add(token)
-            jobs = set(ws.jobs)
-            empty = ws.backed_empty.snapshot()
-            covered = ws.backed_covered.snapshot()
-
-            def undo() -> None:
-                ws.jobs = jobs
-                ws.backed_empty.restore(empty)
-                ws.backed_covered.restore(covered)
-
-            journal.append(undo)
+            if self._closure_journal:
+                journal.append(_closure_window_state(ws))
+            else:
+                journal.append((OP_WINDOW_STATE, ws, set(ws.jobs),
+                                ws.backed_empty.snapshot(),
+                                ws.backed_covered.snapshot()))
             return
         ab = self._abatch
         if ab is not None and ab.track and id(ws) not in ab.seen:
@@ -374,24 +482,31 @@ class AlignedReservationScheduler(ReallocatingScheduler):
                              emit_touched=emit_touched)
         if atomic:
             self._batch.saved["poisoned"] = self._poisoned
-            self._abatch = _AtomicBatchLog(track=not ephemeral)
+            self._abatch = _AtomicBatchLog(
+                None if self._closure_journal else self._arena,
+                track=not ephemeral)
+
+    def _release_batch_log(self, ab: _AtomicBatchLog) -> None:
+        """Detach the batch journal and release its arena scope."""
+        for iv in ab.journal_ivs:
+            iv.undo_log = None
+        if ab.arena is not None:
+            ab.arena.truncate()
+        else:
+            self._journal_entries_closure += len(ab.journal)
 
     def _batch_commit(self) -> None:
         super()._batch_commit()
         ab, self._abatch = self._abatch, None
         if ab is not None:
-            for iv in ab.journal_ivs:
-                iv.undo_log = None
+            self._release_batch_log(ab)
 
     def _batch_restore(self, ctx) -> None:
         ab, self._abatch = self._abatch, None
         # Replay the batch-wide interval journal backwards, then drop
         # the intervals materialized mid-batch (their own undo entries
         # restore dead objects, which is harmless).
-        for undo in reversed(ab.journal):
-            undo()
-        for iv in ab.journal_ivs:
-            iv.undo_log = None
+        replay_entries(ab.journal)
         for table, index in ab.created:
             table.pop(index, None)
         for ws, jobs, empty, covered in ab.windows:
@@ -401,6 +516,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         for d, snap in ab.dicts:
             d.clear()
             d.update(snap)
+        self._release_batch_log(ab)
         # Placement maps rewind from the batch-level touched log. Any
         # slot now held by a job it did not hold pre-batch belongs to a
         # touched job, so clearing touched jobs first cannot orphan an
@@ -802,6 +918,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             enclosing_spans=tuple(self.policy.enclosing_spans(level)),
             on_assign=self._assign_hooks[level],
             on_release=self._release_hooks[level],
+            closure_undo=self._closure_journal,
         )
         for s in iv.slots():
             occ = self.slot_job.get(s)
@@ -809,7 +926,9 @@ class AlignedReservationScheduler(ReallocatingScheduler):
                 iv.lower_occupied.add(s)
         journal = self._journal
         if journal is not None:
-            journal.append(lambda: table.pop(index, None))
+            journal.append(_closure_pop(table, index)
+                           if self._closure_journal
+                           else (OP_POP, table, index))
         elif self._abatch is not None and self._abatch.track:
             self._abatch.created.append((table, index))
         table[index] = iv

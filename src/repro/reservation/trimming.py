@@ -58,6 +58,11 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         Level policy for the inner schedulers.
     min_n_star:
         Floor for the n* estimate (avoids degenerate trims at tiny n).
+    journal:
+        Undo-journal representation of the inner schedulers (``"arena"``
+        default, ``"closure"`` oracle — see
+        :class:`AlignedReservationScheduler`). Rebuilds carry it to the
+        fresh inner.
     """
 
     _sparse_costing = True
@@ -79,6 +84,7 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         *,
         min_n_star: int = 4,
         tracer: EventTracer | NullTracer | None = None,
+        journal: str = "arena",
     ) -> None:
         super().__init__(num_machines=1)
         if gamma < 1 or gamma & (gamma - 1):
@@ -90,8 +96,13 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         self.min_n_star = min_n_star
         self.n_star = min_n_star
         self.tracer = tracer if tracer is not None else NullTracer()
-        self.inner = AlignedReservationScheduler(policy, tracer=self.tracer)
+        self.journal_impl = journal
+        self.inner = AlignedReservationScheduler(policy, tracer=self.tracer,
+                                                 journal=journal)
         self.rebuilds = 0
+        #: journal entries recorded by inners replaced in rebuilds
+        #: (``journal_entries_total`` folds the live inner back in)
+        self._journal_entries_carry = 0
 
     # ------------------------------------------------------------------
     @property
@@ -137,7 +148,9 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         self._merge_touched(dict(self.inner.placements))
         survivors = [job for jid, job in self.jobs.items()
                      if jid in self.inner.jobs]
-        self.inner = AlignedReservationScheduler(self.policy, tracer=self.tracer)
+        self._journal_entries_carry += self.inner.journal_entries_total
+        self.inner = AlignedReservationScheduler(self.policy, tracer=self.tracer,
+                                                 journal=self.journal_impl)
         ctx = self._batch
         if ctx is not None:
             # Inside an atomic batch the fresh inner is ephemeral: an
@@ -183,7 +196,8 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         super()._batch_begin(atomic=atomic, top=top, ephemeral=ephemeral,
                              emit_touched=emit_touched)
         if atomic and not ephemeral:
-            self._batch.saved["trim"] = (self.inner, self.n_star, self.rebuilds)
+            self._batch.saved["trim"] = (self.inner, self.n_star, self.rebuilds,
+                                         self._journal_entries_carry)
         self.inner._batch_begin(atomic=atomic, top=False, ephemeral=ephemeral)
 
     def _batch_commit(self) -> None:
@@ -192,11 +206,20 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
 
     def _batch_restore(self, ctx) -> None:
         # If a rebuild replaced the inner mid-batch, the saved pre-batch
-        # inner swaps back and the replacement is simply dropped.
-        self.inner, self.n_star, self.rebuilds = ctx.saved["trim"]
+        # inner swaps back and the replacement is simply dropped — the
+        # rebuild's carry increment rolls back with it, so
+        # journal_entries_total matches a scheduler that never saw the
+        # batch (the restored inner still holds its own lifetime count).
+        (self.inner, self.n_star, self.rebuilds,
+         self._journal_entries_carry) = ctx.saved["trim"]
         self.inner._batch_abort()
 
     # ------------------------------------------------------------------
+    @property
+    def journal_entries_total(self) -> int:
+        """Lifetime undo-journal entries, rebuild-replaced inners included."""
+        return self._journal_entries_carry + self.inner.journal_entries_total
+
     @property
     def poisoned(self) -> bool:
         return self.inner.poisoned

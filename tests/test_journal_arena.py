@@ -1,0 +1,424 @@
+"""Tuple+arena undo journal vs the closure-journal oracle.
+
+The journal representation (tuple opcodes on a reusable arena,
+``journal="arena"``) is free to change because the paper's guarantees
+depend only on *what* a rollback restores, never *how* — but "free to
+change" must be proven, not assumed. These tests pin the arena
+journal's abort state bit-identical to the closure-journal oracle
+(``journal="closure"``, the pre-arena implementation kept verbatim)
+across every rollback path in the stack:
+
+- failed-request rollback (poisoned schedulers keep exact pre-request
+  state),
+- deep atomic-batch aborts through the full Theorem 1 stack,
+- trimming rebuilds replaced mid-batch and discarded on abort,
+- process-worker crash rollback (whole-burst abort + worker re-seed,
+  exercising arena reuse across bursts and across pickling).
+
+"Bit-identical" is a deep structural fingerprint: placements, job
+tables, per-interval reservations/assignments/allowances, and
+window-state backed indexes — not just the public placement map.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.api import ReservationScheduler
+from repro.core.exceptions import ReproError, WorkerCrashError
+from repro.core.job import Job
+from repro.core.requests import DeleteJob, InsertJob, iter_batches
+from repro.core.window import Window
+from repro.multimachine.delegation import DelegatingScheduler
+from repro.reservation import AlignedReservationScheduler
+from repro.reservation.journal import OP_POP, UndoArena, replay_entries
+from repro.reservation.trimming import TrimmedReservationScheduler
+from repro.reservation.validation import validate_scheduler
+from repro.workloads import AlignedWorkloadConfig, random_aligned_sequence
+
+
+def make_workload(num_requests=400, seed=0, machines=1):
+    cfg = AlignedWorkloadConfig(
+        num_requests=num_requests, num_machines=machines, gamma=8,
+        horizon=1 << 11, max_span=1 << 11, delete_fraction=0.35,
+    )
+    return list(random_aligned_sequence(cfg, seed=seed))
+
+
+# ----------------------------------------------------------------------
+# deep state fingerprints
+# ----------------------------------------------------------------------
+def _wkey(window):
+    return (window.release, window.deadline)
+
+
+def aligned_fingerprint(s: AlignedReservationScheduler):
+    """Every semantic structure of the single-machine scheduler.
+
+    Lazy caches (memoized targets, free-slot indexes) are deliberately
+    excluded — ``validate_scheduler`` cross-checks them against
+    recomputation separately.
+    """
+    intervals = tuple(
+        (lv, idx, iv.lo, iv.hi, frozenset(iv.lower_occupied),
+         tuple(sorted(((_wkey(w), c) for w, c in iv.dynamic_res.items()))),
+         tuple(sorted((_wkey(w), tuple(sorted(slots)))
+                      for w, slots in iv.assigned.items())),
+         tuple(sorted(iv.slot_owner.items(),
+                      key=lambda kv: kv[0])))
+        for lv, table in sorted(s.intervals.items())
+        for idx, iv in sorted(table.items())
+    )
+    window_states = tuple(
+        (lv, _wkey(w), frozenset(ws.jobs),
+         tuple(ws.backed_empty.snapshot()),
+         tuple(ws.backed_covered.snapshot()))
+        for lv, states in sorted(s.window_states.items())
+        for w, ws in sorted(states.items(), key=lambda kv: _wkey(kv[0]))
+    )
+    return (
+        dict(s.placements), dict(s.slot_job), dict(s.job_slot),
+        dict(s._job_levels), set(s.jobs), s._poisoned,
+        s._max_span_cache, dict(s._span_counts), intervals, window_states,
+    )
+
+
+def trimmed_fingerprint(s: TrimmedReservationScheduler):
+    return (s.n_star, s.rebuilds, set(s.jobs), s._max_span_cache,
+            aligned_fingerprint(s.inner))
+
+
+def stack_fingerprint(s):
+    """Recursive fingerprint for any scheduler stack under test."""
+    if isinstance(s, AlignedReservationScheduler):
+        return ("aligned", aligned_fingerprint(s))
+    if isinstance(s, TrimmedReservationScheduler):
+        return ("trimmed", trimmed_fingerprint(s))
+    if isinstance(s, DelegatingScheduler):
+        bal = s.balancer
+        return ("delegating", dict(s.placements), set(s.jobs),
+                dict(bal._count),
+                {jid: (_wkey(w), m) for jid, (w, m) in bal._where.items()},
+                tuple(stack_fingerprint(sub) for sub in s.machines))
+    if isinstance(s, ReservationScheduler):
+        return ("theorem1", set(s.jobs), dict(s._span_counts),
+                len(s.ledger.entries), stack_fingerprint(s.delegator))
+    raise AssertionError(f"no fingerprint for {type(s).__name__}")
+
+
+def make_pair(factory):
+    """(arena, closure-oracle) instances of the same stack."""
+    return factory("arena"), factory("closure")
+
+
+# ----------------------------------------------------------------------
+# the arena itself
+# ----------------------------------------------------------------------
+def test_arena_watermark_truncation_and_counter():
+    arena = UndoArena()
+    d = {"a": 1}
+    arena.entries.append((OP_POP, d, "a"))  # outer scope's entry
+    mark = arena.mark()
+    assert mark == 1
+    arena.entries.append((OP_POP, d, "b"))  # inner scope's entry
+    arena.seen.add("token")
+    # inner scope: replay + truncate back to the watermark
+    d["b"] = 2
+    arena.rollback(mark)
+    assert d == {"a": 1}
+    arena.truncate(mark)
+    assert len(arena.entries) == 1 and arena.entries_total == 1
+    assert arena.seen  # inner truncation leaves shared containers alone
+    # outer scope exit clears everything
+    arena.truncate()
+    assert not arena.entries and not arena.seen
+    assert arena.entries_total == 2
+
+
+def test_replay_dispatches_closures_too():
+    calls = []
+    d = {"k": "old"}
+    replay_entries([lambda: calls.append(1), (OP_POP, d, "k")])
+    assert calls == [1] and d == {}
+
+
+def test_journal_param_validation_and_introspection():
+    with pytest.raises(ValueError):
+        AlignedReservationScheduler(journal="nope")
+    assert AlignedReservationScheduler().journal_impl == "arena"
+    assert AlignedReservationScheduler(journal="closure").journal_impl == "closure"
+    assert TrimmedReservationScheduler(journal="closure").inner.journal_impl == "closure"
+    facade = ReservationScheduler(2, gamma=8, journal="closure")
+    assert all(m.journal_impl == "closure" for m in facade.machine_schedulers())
+
+
+def test_journal_entry_counter_survives_aborted_rebuild():
+    """An atomic abort that discards a mid-batch rebuild inner also
+    rolls back the rebuild's carry increment — the counter must not
+    double count the restored inner's lifetime entries. (The counter
+    still grows by the aborted batch's own recorded entries: it counts
+    journaling work done, not surviving state.)"""
+    sched = TrimmedReservationScheduler(gamma=8, min_n_star=4)
+    warm = make_workload(60, seed=29)
+    for r in warm:
+        sched.apply(r)
+    pre_total = sched.journal_entries_total
+    pre_carry = sched._journal_entries_carry
+    pre_inner_total = sched.inner.journal_entries_total
+    bad = [InsertJob(Job(f"g{i}", Window(0, 1 << 10)))
+           for i in range(2 * sched.n_star + 4)]
+    bad.append(InsertJob(Job("g0", Window(0, 1 << 10))))  # dup -> abort
+    result = sched.apply_batch(bad, atomic=True)
+    assert result.failed and result.rolled_back
+    # the rebuild bumped the carry mid-batch; the abort restored it
+    assert sched._journal_entries_carry == pre_carry
+    # total grew only by the batch's own journal entries (recorded in
+    # the restored inner's arena at abort) — not by a double count of
+    # the pre-batch inner's lifetime (which would add >= pre_total)
+    batch_entries = sched.inner.journal_entries_total - pre_inner_total
+    assert sched.journal_entries_total == pre_total + batch_entries
+    assert batch_entries < pre_total
+
+
+def test_deamortized_counter_exists_and_carries_phases():
+    """The deamortized stack exposes the same introspection as every
+    other stack, and retired phase inners keep their counts."""
+    from repro.reservation.deamortized import DeamortizedReservationScheduler
+
+    sched = DeamortizedReservationScheduler(min_n_star=4)
+    seq = make_workload(300, seed=31)
+    counts = []
+    for r in seq:
+        sched.apply(r)
+        counts.append(sched.journal_entries_total)
+    assert sched.phases_started > 0
+    assert counts == sorted(counts)  # monotone: phase swaps drop nothing
+    assert counts[-1] > 0
+    facade = ReservationScheduler(1, gamma=8, deamortized=True)
+    for r in seq[:50]:
+        facade.apply(r)
+    assert sum(m.journal_entries_total
+               for m in facade.machine_schedulers()) > 0
+
+
+def test_journal_entry_counter_counts_both_modes():
+    seq = make_workload(120, seed=21)
+    arena, closure = make_pair(
+        lambda j: AlignedReservationScheduler(journal=j))
+    for r in seq:
+        arena.apply(r)
+        closure.apply(r)
+    assert arena.journal_entries_total > 0
+    assert arena.journal_entries_total == closure.journal_entries_total
+
+
+# ----------------------------------------------------------------------
+# failed-request rollback (poisoned schedulers)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 7, 23])
+def test_poisoned_request_state_identical(seed):
+    """A deep infeasible insert rolls both journals back to the same
+    bit-identical pre-request state, then poisons both."""
+    seq = make_workload(250, seed=seed)
+    arena, closure = make_pair(
+        lambda j: AlignedReservationScheduler(journal=j))
+    for s in (arena, closure):
+        s.insert(Job("fill", Window(0, 1)))  # [0,1) is now full
+    for r in seq:
+        arena.apply(r)
+        closure.apply(r)
+    pre = stack_fingerprint(arena)
+    assert pre == stack_fingerprint(closure)
+    poison = Job(f"poison-{seed}", Window(0, 1))
+    for s in (arena, closure):
+        with pytest.raises(ReproError):
+            s.insert(poison)
+        assert s.poisoned
+        validate_scheduler(s)
+    post = stack_fingerprint(arena)
+    assert post == stack_fingerprint(closure)
+    # rollback restored everything except the poison flag
+    assert post[1][:5] == pre[1][:5] and post[1][6:] == pre[1][6:]
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_random_failing_deletes_and_inserts_identical(seed):
+    """Random churn with interleaved invalid requests: both journals
+    agree on every success, every failure, and every intermediate
+    state fingerprint."""
+    rng = random.Random(seed)
+    seq = make_workload(300, seed=seed)
+    arena, closure = make_pair(
+        lambda j: AlignedReservationScheduler(journal=j))
+    for i, r in enumerate(seq):
+        outcomes = []
+        for s in (arena, closure):
+            try:
+                s.apply(r)
+                outcomes.append("ok")
+            except ReproError as exc:
+                outcomes.append(type(exc).__name__)
+        assert outcomes[0] == outcomes[1]
+        if outcomes[0] != "ok":
+            break
+        if rng.random() < 0.1:
+            bad = DeleteJob(f"ghost-{i}")
+            for s in (arena, closure):
+                with pytest.raises(ReproError):
+                    s.apply(bad)
+        if i % 25 == 0:
+            assert stack_fingerprint(arena) == stack_fingerprint(closure)
+    assert stack_fingerprint(arena) == stack_fingerprint(closure)
+
+
+# ----------------------------------------------------------------------
+# deep atomic aborts
+# ----------------------------------------------------------------------
+STACKS = [
+    ("aligned", 1, lambda j: AlignedReservationScheduler(journal=j)),
+    ("theorem1-m1", 1, lambda j: ReservationScheduler(1, gamma=8, journal=j)),
+    ("theorem1-m3", 3, lambda j: ReservationScheduler(3, gamma=8, journal=j)),
+]
+
+
+@pytest.mark.parametrize("name,machines,factory", STACKS)
+def test_atomic_abort_state_identical(name, machines, factory):
+    """A failing atomic batch aborts both representations to the same
+    deep state, equal to a scheduler that never saw the batch; both
+    continue to a bit-identical end state."""
+    seq = make_workload(420, seed=9, machines=machines)
+    prefix, inside, after = seq[:200], seq[200:260], seq[260:]
+    arena, closure = make_pair(factory)
+    untouched = factory("arena")
+    for r in prefix:
+        arena.apply(r)
+        closure.apply(r)
+        untouched.apply(r)
+    # duplicate insert fails at the last request — deep abort after the
+    # whole burst (trimming rebuilds included) already applied
+    bad = inside + [InsertJob(Job("dup", Window(0, 64))),
+                    InsertJob(Job("dup", Window(0, 64)))]
+    for s in (arena, closure):
+        result = s.apply_batch(bad, atomic=True)
+        assert result.failed and result.rolled_back
+    fp = stack_fingerprint(arena)
+    assert fp == stack_fingerprint(closure)
+    assert fp[1:] == stack_fingerprint(untouched)[1:]  # same type tag anyway
+    for r in inside + after:
+        arena.apply(r)
+        closure.apply(r)
+    assert stack_fingerprint(arena) == stack_fingerprint(closure)
+
+
+def test_trimming_rebuild_abort_identical():
+    """An atomic batch that replaces the trimming inner mid-batch and
+    then aborts: the pre-batch inner swaps back identically in both
+    representations, and the discarded rebuild inner cost no journal
+    entries in either."""
+    arena, closure = make_pair(
+        lambda j: TrimmedReservationScheduler(gamma=8, min_n_star=4,
+                                              journal=j))
+    warm = make_workload(60, seed=13)
+    for r in warm:
+        arena.apply(r)
+        closure.apply(r)
+    pre = stack_fingerprint(arena)
+    assert pre == stack_fingerprint(closure)
+    n_star = arena.n_star
+    # enough inserts to force a doubling rebuild inside the batch, then
+    # a guaranteed failure (duplicate id)
+    grow = [InsertJob(Job(f"grow-{i}", Window(0, 1 << 10)))
+            for i in range(2 * n_star + 4)]
+    bad = grow + [InsertJob(Job("grow-0", Window(0, 1 << 10)))]
+    for s in (arena, closure):
+        entries_before = s.journal_entries_total
+        result = s.apply_batch(bad, atomic=True)
+        assert result.failed and result.rolled_back
+        assert s.rebuilds == 0 or s.n_star == n_star  # rebuild discarded
+        # atomic batches journal interval mutations but the ephemeral
+        # rebuild inner records nothing
+        assert s.journal_entries_total >= entries_before
+    assert stack_fingerprint(arena) == pre
+    assert stack_fingerprint(closure) == pre
+    # rebuilds still work after the abort, identically
+    for r in grow:
+        arena.apply(r)
+        closure.apply(r)
+    assert arena.rebuilds == closure.rebuilds > 0
+    assert stack_fingerprint(arena) == stack_fingerprint(closure)
+
+
+def test_sequential_rebuild_journal_diet_oracle_unchanged():
+    """The PR 3 journal-diet equivalence still holds on top of the
+    arena: non-atomic rebuilds skip the journal entirely in both
+    representations and end bit-identical to the journaled oracle."""
+    seq = make_workload(400, seed=17)
+    diet = TrimmedReservationScheduler(gamma=8)
+    oracle = TrimmedReservationScheduler(gamma=8, journal="closure")
+    oracle.rebuild_journal_diet = False  # instance-level: full journaling
+    for r in seq:
+        diet.apply(r)
+        oracle.apply(r)
+    assert diet.rebuilds == oracle.rebuilds > 0
+    assert stack_fingerprint(diet) == stack_fingerprint(oracle)
+
+
+# ----------------------------------------------------------------------
+# process-worker crash rollback
+# ----------------------------------------------------------------------
+def test_procworker_crash_rollback_identical():
+    """A worker process dying mid-burst rolls the whole burst back to
+    the same deep state in both representations (the arena crossing the
+    pickle boundary and being reused across bursts), and both recover
+    to a bit-identical end state."""
+    seq = make_workload(500, seed=19, machines=3)
+    prefix, burst, rest = seq[:256], seq[256:288], seq[288:]
+    arena, closure = make_pair(
+        lambda j: ReservationScheduler(3, gamma=8, journal=j))
+    try:
+        for s in (arena, closure):
+            for chunk in iter_batches(prefix, 32):
+                result = s.apply_batch_sharded(chunk, workers="processes")
+                assert not result.failed, result.failure
+            s.delegator._shard_pool.crash_worker_after(1, 2)
+            result = s.apply_batch_sharded(burst, workers="processes")
+            assert result.failed and result.rolled_back
+            assert isinstance(result.error, WorkerCrashError)
+        # sync both back and compare the rolled-back state deeply
+        arena.close_shard_workers()
+        closure.close_shard_workers()
+        assert stack_fingerprint(arena) == stack_fingerprint(closure)
+        assert all(m.journal_impl == "closure"
+                   for m in closure.machine_schedulers())
+        # the same burst retries cleanly on the re-seeded workers
+        for s in (arena, closure):
+            for chunk in iter_batches(burst + rest, 32):
+                result = s.apply_batch_sharded(chunk, workers="processes")
+                assert not result.failed, result.failure
+        arena.close_shard_workers()
+        closure.close_shard_workers()
+        assert stack_fingerprint(arena) == stack_fingerprint(closure)
+        reference = ReservationScheduler(3, gamma=8)
+        for r in seq:
+            reference.apply(r)
+        assert dict(arena.placements) == dict(reference.placements)
+        assert arena.ledger.entries == reference.ledger.entries
+    finally:
+        arena.close_shard_workers()
+        closure.close_shard_workers()
+
+
+def test_unpickled_scheduler_gets_fresh_arena():
+    import pickle
+
+    sched = AlignedReservationScheduler()
+    for r in make_workload(80, seed=2):
+        sched.apply(r)
+    clone = pickle.loads(pickle.dumps(sched))
+    assert clone._arena is not sched._arena
+    assert not clone._arena.entries and clone._arena.entries_total == 0
+    # the restored scheduler journals and rolls back normally
+    clone.insert(Job("fill2", Window(2, 3)))
+    assert aligned_fingerprint(clone)[:5] != aligned_fingerprint(sched)[:5]

@@ -368,6 +368,10 @@ def test_plan_validates_shard_workers():
     with pytest.raises(ValueError):
         ExecutionPlan(shard_workers="fibers")
     assert ExecutionPlan().resolved_shard_workers == "serial"
-    assert ExecutionPlan(shard_parallel=True).resolved_shard_workers == "threads"
+    # the deprecated spelling still resolves, and warns toward workers=
+    with pytest.deprecated_call():
+        assert (ExecutionPlan(shard_parallel=True).resolved_shard_workers
+                == "threads")
+    # an explicit workers= wins silently
     assert ExecutionPlan(shard_workers="processes",
                          shard_parallel=True).resolved_shard_workers == "processes"

@@ -64,6 +64,7 @@ BACKEND_PLANS = [
 ]
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")  # sharded-parallel case
 @pytest.mark.parametrize("machines", [1, 3])
 def test_all_backends_identical_on_theorem1(machines):
     """Sequential, batched, and sharded backends produce identical
