@@ -109,7 +109,7 @@ def test_e10b_scaling_crossover(benchmark, record_result):
     assert edf_growth > 3 * res_growth
 
 
-def test_e10c_fastpath_10k(benchmark, record_result):
+def test_e10c_fastpath_10k(benchmark, record_result, record_json):
     """The indexed fast path on the 10k-request scenario-scale workload.
 
     Reports scheduler-only requests/second with verification off, plus
@@ -146,6 +146,21 @@ def test_e10c_fastpath_10k(benchmark, record_result):
         ),
     )
     record_result("e10c_fastpath_10k", table)
+    record_json("BENCH_e10c", {
+        "experiment": "e10c",
+        "workload": {"requests": 10_000, "seed": 0},
+        "metrics": {
+            "requests_per_second_unverified": round(
+                off.requests_per_second),
+            "requests_per_second_incremental": round(
+                inc.requests_per_second),
+            "scheduler_time_s_unverified": round(off.scheduler_time_s, 3),
+            "scheduler_time_s_incremental": round(inc.scheduler_time_s, 3),
+            "audit_time_s_incremental": round(inc.audit_time_s, 3),
+            "verified_wall_ratio": round(ratio, 3),
+        },
+        "claims": {"verified_wall_ratio_below": 2.0},
+    })
     benchmark.extra_info["requests_per_second"] = off.requests_per_second
     benchmark.extra_info["verified_ratio"] = ratio
     # Incremental verification keeps verified runs within 2x unverified.

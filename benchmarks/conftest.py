@@ -8,6 +8,7 @@ reproduction broke, not just that numbers drifted.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -29,5 +30,23 @@ def record_result(results_dir):
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[written to {path}]")
+
+    return _record
+
+
+@pytest.fixture
+def record_json(results_dir):
+    """record_json(name, payload): persist a perf-trajectory artifact.
+
+    Writes ``benchmarks/results/<name>.json`` (ROADMAP observability
+    item c). The artifact is committed per PR so later PRs can diff
+    the experiment's headline metrics against history without
+    rerunning it; keys are sorted so diffs stay minimal.
+    """
+
+    def _record(name: str, payload: dict) -> None:
+        path = results_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n[perf trajectory written to {path}]")
 
     return _record

@@ -28,7 +28,8 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 
-COMMAND_DOCS = ["README.md", "docs/ARCHITECTURE.md"]
+COMMAND_DOCS = ["README.md", "docs/ARCHITECTURE.md",
+                "docs/STATIC_ANALYSIS.md"]
 
 #: raw paper/snippet retrieval artifacts — their bodies quote external
 #: markdown verbatim (inline figures etc.), not links this repo owns

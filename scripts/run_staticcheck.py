@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Run the repo's contract linter: ``python scripts/run_staticcheck.py``.
+
+Thin entry point over :mod:`repro.analysis.staticcheck` (the same code
+``repro lint`` runs) that works without an installed package — it puts
+``src/`` on ``sys.path`` itself, so CI and pre-commit hooks can call it
+from a bare checkout. All ``repro lint`` flags pass through, e.g.::
+
+    python scripts/run_staticcheck.py --strict
+    python scripts/run_staticcheck.py --format json src/repro/reservation
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.staticcheck import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Contract-enforcing static analysis for the reservation stack.
+
+The runtime's correctness story rests on disciplines nothing checked
+before runtime: every hot-path mutation must append an undo entry to
+the arena journal, every backend must produce bit-identical placements,
+and everything crossing the process-worker pipe must survive pickling
+with closures rebuilt on restore. This package checks those contracts
+at review time with an AST pass — ``repro lint`` / ``scripts/
+run_staticcheck.py`` — instead of leaving them to shrunken
+differential-harness counterexamples.
+
+Public surface:
+
+- :func:`analyze_paths` / :func:`analyze_source` — run rules, get a
+  :class:`Report` of :class:`Finding` objects.
+- :func:`registered_rules` / :func:`resolve_rules` / :func:`register`
+  — the rule registry (see ``docs/STATIC_ANALYSIS.md`` for how to add
+  a rule).
+- :func:`main` — the ``repro lint`` command implementation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .engine import (
+    Rule,
+    SourceFile,
+    analyze_paths,
+    analyze_source,
+    register,
+    registered_rules,
+    resolve_rules,
+    scope_of,
+)
+from .report import Finding, Report
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Rule",
+    "SourceFile",
+    "analyze_paths",
+    "analyze_source",
+    "build_parser",
+    "main",
+    "register",
+    "registered_rules",
+    "resolve_rules",
+    "scope_of",
+]
+
+#: default analysis root: the repro package this file lives inside
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="repo-specific contract linter (journal coverage, "
+                    "determinism, pickle boundary, rollback safety, "
+                    "typing coverage)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help=f"files or directories to check (default: {DEFAULT_ROOT})")
+    parser.add_argument(
+        "--rules", default="",
+        help="comma-separated rule subset (default: all)")
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        dest="format_", help="report format")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings too, not just errors")
+    parser.add_argument(
+        "--list-rules", action="store_true", dest="list_rules",
+        help="list registered rules and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for name, rule in sorted(registered_rules().items()):
+            scopes = ", ".join(rule.scopes) if rule.scopes else "all files"
+            print(f"{name:20s} [{scopes}]\n    {rule.description}")
+        return 0
+    names = ([n.strip() for n in args.rules.split(",") if n.strip()]
+             or None)
+    try:
+        rules = resolve_rules(names)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    paths = args.paths or [DEFAULT_ROOT]
+    report = analyze_paths(paths, rules)
+    if args.format_ == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return 0 if report.ok(strict=args.strict) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    raise SystemExit(main())

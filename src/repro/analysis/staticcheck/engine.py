@@ -1,0 +1,197 @@
+"""Rule registry, suppression handling, and the analysis driver.
+
+The engine is deliberately small: a rule is an object with a ``name``,
+a set of *scopes* (path prefixes relative to the ``repro`` package —
+``"reservation/"``, ``"sim/"``, ... — or ``None`` for every file) and a
+``check(SourceFile)`` method yielding :class:`Finding` objects. Rules
+register themselves into a module-level registry at import time
+(:func:`register`); :func:`analyze_paths` parses each file once and
+hands the shared AST to every applicable rule.
+
+Suppressions are per-line comments, ruff/mypy style::
+
+    risky_line()  # staticcheck: ignore[determinism]
+    another()     # staticcheck: ignore          (all rules)
+
+and a whole file opts out with ``# staticcheck: skip-file`` on any of
+its first ten lines. Suppressed findings are counted (``Report.
+suppressed``) so a suppression that stops matching anything is visible.
+
+Scopes let the self-test suite feed known-bad fixture *sources* through
+the same code path as real files: :func:`analyze_source` takes the
+virtual repo-relative path explicitly, so a fixture can impersonate
+``reservation/interval.py`` without touching the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .report import Finding, Report
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*staticcheck:\s*ignore(?:\[([A-Za-z0-9_,\- ]+)\])?")
+_SKIP_FILE_RE = re.compile(r"#\s*staticcheck:\s*skip-file")
+
+
+class SourceFile:
+    """One parsed source file plus its suppression table."""
+
+    def __init__(self, source: str, scope: str, path: str) -> None:
+        #: repo-display path (what findings point at)
+        self.path = path
+        #: path relative to the ``repro`` package root, ``/``-separated
+        #: (drives rule scoping); fixtures pass a virtual scope
+        self.scope = scope
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        #: line -> set of suppressed rule names (empty set = all rules)
+        self.suppressions: dict[int, set[str]] = {}
+        self.skip = any(
+            _SKIP_FILE_RE.search(line) for line in self.lines[:10]
+        )
+        for lineno, line in enumerate(self.lines, start=1):
+            m = _SUPPRESS_RE.search(line)
+            if m is None:
+                continue
+            names = m.group(1)
+            self.suppressions[lineno] = (
+                {n.strip() for n in names.split(",") if n.strip()}
+                if names else set()
+            )
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        names = self.suppressions.get(line)
+        if names is None:
+            return False
+        return not names or rule in names
+
+
+class Rule(ABC):
+    """One rule family: a name, a scope set, and a ``check`` pass."""
+
+    #: rule-family name (used in reports and suppression comments)
+    name: str = ""
+    #: short description for ``repro lint --list-rules``
+    description: str = ""
+    #: path prefixes (relative to the repro package) this rule runs on;
+    #: None runs on every file
+    scopes: tuple[str, ...] | None = None
+
+    def applies(self, scope: str) -> bool:
+        if self.scopes is None:
+            return True
+        return scope.startswith(self.scopes)
+
+    @abstractmethod
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        """Yield findings for one parsed source file."""
+
+    def finding(self, sf: SourceFile, node: ast.AST, code: str,
+                message: str, *, severity: str = "error") -> Finding:
+        return Finding(
+            path=sf.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            rule=self.name,
+            message=message,
+            severity=severity,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    """Add a rule instance to the registry (latest name wins)."""
+    if not rule.name:
+        raise ValueError("rule must have a name")
+    _REGISTRY[rule.name] = rule
+    return rule
+
+
+def registered_rules() -> dict[str, Rule]:
+    """Snapshot of the registry, importing the built-in rules first."""
+    from . import rules as _builtin  # noqa: F401  (import registers them)
+
+    return dict(_REGISTRY)
+
+
+def resolve_rules(names: Sequence[str] | None = None) -> list[Rule]:
+    registry = registered_rules()
+    if names is None:
+        return list(registry.values())
+    missing = [n for n in names if n not in registry]
+    if missing:
+        raise KeyError(
+            f"unknown rule(s) {missing}; available: {sorted(registry)}")
+    return [registry[n] for n in names]
+
+
+def scope_of(path: Path) -> str:
+    """Path relative to the ``repro`` package root, ``/``-separated.
+
+    Files outside a ``repro`` directory scope as their plain name, so
+    the engine still runs (scoped rules simply skip them).
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1:])
+    return path.name
+
+
+def analyze_source(source: str, scope: str, *, path: str | None = None,
+                   rules: Sequence[Rule] | None = None,
+                   report: Report | None = None) -> Report:
+    """Run rules over one in-memory source (the fixture entry point)."""
+    if rules is None:
+        rules = resolve_rules()
+    if report is None:
+        report = Report(rules_run=tuple(r.name for r in rules))
+    sf = SourceFile(source, scope, path if path is not None else scope)
+    report.files_checked += 1
+    if sf.skip:
+        return report
+    for rule in rules:
+        if not rule.applies(sf.scope):
+            continue
+        for finding in rule.check(sf):
+            if sf.suppressed(rule.name, finding.line):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    return report
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return files
+
+
+def analyze_paths(paths: Iterable[Path],
+                  rules: Sequence[Rule] | None = None) -> Report:
+    """Run rules over files and directories; the CLI entry point."""
+    if rules is None:
+        rules = resolve_rules()
+    report = Report(rules_run=tuple(r.name for r in rules))
+    for path in iter_python_files(paths):
+        analyze_source(
+            path.read_text(),
+            scope_of(path),
+            path=str(path),
+            rules=rules,
+            report=report,
+        )
+    return report

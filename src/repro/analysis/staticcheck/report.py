@@ -1,0 +1,106 @@
+"""Findings and structured reports for the contract linter.
+
+A :class:`Finding` is one rule violation anchored to a source line; a
+:class:`Report` is the outcome of a whole run — findings plus coverage
+metadata — renderable as a human-readable text table or as JSON for CI
+artifacts and tooling. The JSON layout is stable: top-level ``summary``
+(counts per rule and per severity) and a ``findings`` list sorted by
+(path, line, code) so diffs between runs are meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: finding severities, in increasing order of seriousness
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Report:
+    """Outcome of one linter run over a set of source files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def ok(self, *, strict: bool = False) -> bool:
+        """True when the run passes: no errors (and, strict, no warnings)."""
+        if self.errors:
+            return False
+        return not (strict and self.warnings)
+
+    def to_json(self) -> str:
+        payload = {
+            "summary": {
+                "files_checked": self.files_checked,
+                "rules_run": list(self.rules_run),
+                "findings": len(self.findings),
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "suppressed": self.suppressed,
+                "by_rule": self.counts_by_rule(),
+            },
+            "findings": [f.to_dict() for f in sorted(self.findings)],
+        }
+        return json.dumps(payload, indent=2, sort_keys=False)
+
+    def to_text(self) -> str:
+        lines: list[str] = []
+        for f in sorted(self.findings):
+            lines.append(
+                f"{f.location()}: {f.severity} {f.code} [{f.rule}] {f.message}"
+            )
+        by_rule = ", ".join(
+            f"{rule}={n}" for rule, n in self.counts_by_rule().items()
+        )
+        lines.append(
+            f"staticcheck: {self.files_checked} file(s), "
+            f"{len(self.rules_run)} rule(s), {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {self.suppressed} suppressed"
+            + (f" [{by_rule}]" if by_rule else "")
+        )
+        return "\n".join(lines)

@@ -255,6 +255,21 @@ def cmd_replay(args) -> int:
     return 1 if result.failed else 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis.staticcheck import main as staticcheck_main
+
+    argv = [str(p) for p in args.paths]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.format_ != "text":
+        argv += ["--format", args.format_]
+    if args.strict:
+        argv.append("--strict")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return staticcheck_main(argv)
+
+
 def cmd_bounds(args) -> int:
     rows = [
         ["Theorem 1 cost (3*log*)", theorem1_cost_bound(args.n, args.delta)],
@@ -398,6 +413,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=1024)
     p.add_argument("--delta", type=int, default=1 << 16)
     p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser(
+        "lint", help="run the repo contract linter (staticcheck)")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: the repro package)")
+    p.add_argument("--rules", default="",
+                   help="comma-separated rule subset (default: all)")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   dest="format_")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on warnings too, not just errors")
+    p.add_argument("--list-rules", action="store_true", dest="list_rules")
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

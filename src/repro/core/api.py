@@ -29,7 +29,7 @@ from ..alignment.align import align_job
 from ..levels.policy import LevelPolicy, PAPER_POLICY
 from ..multimachine.delegation import DelegatingScheduler
 from ..reservation.trimming import TrimmedReservationScheduler
-from .base import ReallocatingScheduler
+from .base import ReallocatingScheduler, _BatchContext
 from .costs import BatchResult, RequestCost
 from .exceptions import InvalidRequestError
 from .job import Job, JobId, Placement
@@ -166,7 +166,7 @@ class ReservationScheduler(ReallocatingScheduler):
         self._align_memo = {}
         self.delegator._batch_commit()
 
-    def _batch_restore(self, ctx) -> None:
+    def _batch_restore(self, ctx: _BatchContext) -> None:
         self._align_memo = {}
         self.delegator._batch_abort()
 

@@ -20,7 +20,7 @@ job likewise. Both conventions match the paper's lower-bound accounting
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from .job import JobId, Placement
 
@@ -225,7 +225,7 @@ class CostLedger:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[RequestCost]:
         return iter(self.entries)
 
     # ------------------------------------------------------------------

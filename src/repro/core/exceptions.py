@@ -12,6 +12,8 @@ alignment).
 
 from __future__ import annotations
 
+from .window import Window
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -46,7 +48,8 @@ class UnderallocationError(ReproError):
     """
 
     def __init__(self, message: str, *, level: int | None = None,
-                 window=None, detail: str | None = None) -> None:
+                 window: Window | None = None,
+                 detail: str | None = None) -> None:
         super().__init__(message)
         self.level = level
         self.window = window

@@ -43,19 +43,26 @@ from __future__ import annotations
 
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
-from ..core.base import ReallocatingScheduler, resolve_shard_worker_mode
-from ..core.costs import BatchResult, diff_touched
+from ..core.base import (
+    ReallocatingScheduler,
+    _BatchContext,
+    resolve_shard_worker_mode,
+)
+from ..core.costs import BatchResult, RequestCost, diff_touched
 from ..core.exceptions import InvalidRequestError, ReproError
 from ..core.job import Job, JobId, Placement
 from ..core.requests import Batch, DeleteJob, InsertJob, Request
 from ..core.window import Window
 
+if TYPE_CHECKING:  # pragma: no cover - import-cycle-free type aliases
+    from .procworkers import ProcessShardPool
+
 _NOT_SEEN = object()
 
 
-def _changed_ids(sub: ReallocatingScheduler, cost,
+def _changed_ids(sub: ReallocatingScheduler, cost: RequestCost,
                  subject: JobId) -> tuple[JobId, ...]:
     """Ids whose placement a sub-request may have changed.
 
@@ -381,7 +388,8 @@ class DelegatingScheduler(ReallocatingScheduler):
     def placements(self) -> Mapping[JobId, Placement]:
         return self._placements
 
-    def _sync_machine(self, machine: int, cost, subject: JobId) -> None:
+    def _sync_machine(self, machine: int, cost: RequestCost,
+                      subject: JobId) -> None:
         """Mirror one sub-request's placement changes into the merged map.
 
         The changed set comes from :func:`_changed_ids` (shared with the
@@ -714,7 +722,7 @@ class DelegatingScheduler(ReallocatingScheduler):
     # ------------------------------------------------------------------
     # process-resident workers
     # ------------------------------------------------------------------
-    def _ensure_shard_pool(self):
+    def _ensure_shard_pool(self) -> ProcessShardPool:
         pool = self._shard_pool
         if pool is None:
             from .procworkers import ProcessShardPool
@@ -868,7 +876,7 @@ class DelegatingScheduler(ReallocatingScheduler):
         for sub in self.machines:
             sub._batch_commit()
 
-    def _batch_restore(self, ctx) -> None:
+    def _batch_restore(self, ctx: _BatchContext) -> None:
         self._batch_plan = {}
         for sub in self.machines:
             sub._batch_abort()

@@ -33,7 +33,7 @@ from typing import Callable
 from ..core.base import ReallocatingScheduler
 from ..core.costs import RequestCost, diff_placements
 from ..core.exceptions import InvalidRequestError
-from ..core.job import JobId
+from ..core.job import Job, JobId
 from ..core.window import Window
 from .delegation import DelegatingScheduler, WindowBalancer
 
@@ -202,7 +202,8 @@ class ElasticScheduler(DelegatingScheduler):
         return cost
 
     # ------------------------------------------------------------------
-    def _execute(self, moves: list[Move], evicted=None) -> None:
+    def _execute(self, moves: list[Move],
+                 evicted: dict[JobId, Job] | None = None) -> None:
         """Apply moves through the single-machine scheduler layers."""
         evicted = evicted or {}
         for job_id, src, dst in moves:

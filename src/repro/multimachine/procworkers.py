@@ -61,11 +61,16 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-from typing import Iterable, Sequence
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..core.base import ReallocatingScheduler
 from ..core.exceptions import ReproError, WorkerCrashError
 from ..core.job import JobId, Placement
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a runtime import cycle
+    from .delegation import ShardPlan
 
 #: default number of committed bursts between worker state snapshots —
 #: bounds crash-recovery replay (and coordinator memory) without
@@ -140,7 +145,7 @@ def apply_op_stream(
     return results, None
 
 
-def _worker_main(conn, machine: int, snapshot: bytes) -> None:
+def _worker_main(conn: Connection, machine: int, snapshot: bytes) -> None:
     """The worker-process loop: one resident sub-scheduler, many bursts."""
     sub: ReallocatingScheduler = pickle.loads(snapshot)
     crash_after: int | None = None
@@ -177,7 +182,8 @@ class _WorkerHandle:
     __slots__ = ("machine", "process", "conn", "snapshot", "replay",
                  "bursts_since_snapshot")
 
-    def __init__(self, machine: int, process, conn, snapshot: bytes) -> None:
+    def __init__(self, machine: int, process: BaseProcess,
+                 conn: Connection, snapshot: bytes) -> None:
         self.machine = machine
         self.process = process
         self.conn = conn
@@ -324,7 +330,8 @@ class ProcessShardPool:
     # ------------------------------------------------------------------
     # the per-burst drive
     # ------------------------------------------------------------------
-    def run_burst(self, plan) -> tuple[int | None, ReproError] | None:
+    def run_burst(self,
+                  plan: ShardPlan) -> tuple[int | None, ReproError] | None:
         """Stream one planned burst to the workers and collect results.
 
         On success fills every :class:`ShardOp`'s ``changed`` / ``post``

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from ..core.base import ReallocatingScheduler
+from ..core.base import ReallocatingScheduler, _BatchContext
 from ..core.exceptions import InvalidRequestError
 from ..core.job import Job, JobId, Placement
 from ..core.window import Window
@@ -280,7 +280,7 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
         if self.incoming is not None:
             self.incoming._batch_commit()
 
-    def _batch_restore(self, ctx) -> None:
+    def _batch_restore(self, ctx: _BatchContext) -> None:
         (self.parity, self.incoming_parity, self.active, self.incoming,
          self.n_star, self.phases_started, self.bulk_finishes,
          self._journal_entries_carry) = ctx.saved["deam"]
@@ -289,9 +289,12 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
             self.incoming._batch_abort()
         self._restore_placement_map(self._placements, ctx.touched)
         # The home map is derivable from the inners' restored job sets.
-        home = {job_id: self.parity for job_id in self.active.jobs}
+        # (``jobs`` here is the inner scheduler's insertion-ordered job
+        # dict, not a set — iteration order is deterministic.)
+        home = {job_id: self.parity for job_id
+                in self.active.jobs}  # staticcheck: ignore[determinism]
         if self.incoming is not None:
-            for job_id in self.incoming.jobs:
+            for job_id in self.incoming.jobs:  # staticcheck: ignore[determinism]
                 home[job_id] = self.incoming_parity
         self._home = home
 

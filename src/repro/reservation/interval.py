@@ -289,7 +289,7 @@ class Interval:
                        if self.closure_undo
                        else (OP_DYNAMIC, self, window, delta))
 
-    def _closure_dynamic(self, window: Window, delta: int):
+    def _closure_dynamic(self, window: Window, delta: int) -> Callable[[], None]:
         return lambda: self._undo_dynamic(window, delta)
 
     def _undo_dynamic(self, window: Window, delta: int) -> None:
@@ -323,7 +323,7 @@ class Interval:
                        if self.closure_undo
                        else (OP_ASSIGN, self, window, pos, slot))
 
-    def _closure_assign(self, window: Window, pos: int, slot: int):
+    def _closure_assign(self, window: Window, pos: int, slot: int) -> Callable[[], None]:
         return lambda: self._undo_assign(window, pos, slot)
 
     def _undo_assign(self, window: Window, pos: int, slot: int) -> None:
@@ -355,7 +355,7 @@ class Interval:
                        if self.closure_undo
                        else (OP_RELEASE, self, window, pos, slot))
 
-    def _closure_release(self, window: Window, pos: int, slot: int):
+    def _closure_release(self, window: Window, pos: int, slot: int) -> Callable[[], None]:
         return lambda: self._undo_release(window, pos, slot)
 
     def _undo_release(self, window: Window, pos: int, slot: int) -> None:
@@ -399,7 +399,7 @@ class Interval:
                        if self.closure_undo
                        else (OP_LOWERED, self, slot, owner))
 
-    def _closure_slot_lowered(self, slot: int, owner: Window | None):
+    def _closure_slot_lowered(self, slot: int, owner: Window | None) -> Callable[[], None]:
         return lambda: self._undo_slot_lowered(slot, owner)
 
     def _undo_slot_lowered(self, slot: int, owner: Window | None) -> None:
@@ -426,7 +426,7 @@ class Interval:
                        if self.closure_undo
                        else (OP_RAISED, self, slot))
 
-    def _closure_slot_raised(self, slot: int):
+    def _closure_slot_raised(self, slot: int) -> Callable[[], None]:
         return lambda: self._undo_slot_raised(slot)
 
     def _undo_slot_raised(self, slot: int) -> None:
@@ -543,7 +543,7 @@ class Interval:
             log.append(self._closure_swap(s1, s2) if self.closure_undo
                        else (OP_SWAP, self, s1, s2))
 
-    def _closure_swap(self, s1: int, s2: int):
+    def _closure_swap(self, s1: int, s2: int) -> Callable[[], None]:
         return lambda: self._swap_raw(s1, s2, fire_hooks=False)
 
     def _swap_raw(self, s1: int, s2: int, *, fire_hooks: bool) -> None:

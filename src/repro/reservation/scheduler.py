@@ -77,9 +77,9 @@ scheduler.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Hashable, Mapping
 
-from ..core.base import ReallocatingScheduler
+from ..core.base import ReallocatingScheduler, _BatchContext
 from ..core.events import EventTracer, NullTracer
 from ..core.exceptions import (
     InfeasibleError,
@@ -96,17 +96,17 @@ from .window_state import WindowState, rr_diff
 _MISSING = object()
 
 
-def _closure_pop(d: dict, key):
+def _closure_pop(d: dict, key: Hashable) -> Callable[[], None]:
     """Closure-journal oracle entry equivalent to ``(OP_POP, d, key)``."""
     return lambda: d.pop(key, None)
 
 
-def _closure_set(d: dict, key, old):
+def _closure_set(d: dict, key: Hashable, old: object) -> Callable[[], None]:
     """Closure-journal oracle entry equivalent to ``(OP_SET, d, key, old)``."""
     return lambda: d.__setitem__(key, old)
 
 
-def _closure_window_state(ws: WindowState):
+def _closure_window_state(ws: WindowState) -> Callable[[], None]:
     """Closure-journal oracle entry restoring a window state snapshot."""
     jobs = set(ws.jobs)
     empty = ws.backed_empty.snapshot()
@@ -392,7 +392,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         """The journal representation in use: ``"arena"`` or ``"closure"``."""
         return "closure" if self._closure_journal else "arena"
 
-    def _jdict(self, d: dict, key) -> None:
+    def _jdict(self, d: dict, key: Hashable) -> None:
         """Journal the pre-state of ``d[key]`` (first touch per request)."""
         journal = self._journal
         if journal is None:
@@ -501,7 +501,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         if ab is not None:
             self._release_batch_log(ab)
 
-    def _batch_restore(self, ctx) -> None:
+    def _batch_restore(self, ctx: _BatchContext) -> None:
         ab, self._abatch = self._abatch, None
         # Replay the batch-wide interval journal backwards, then drop
         # the intervals materialized mid-batch (their own undo entries
@@ -574,7 +574,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
     # ------------------------------------------------------------------
     # backed-slot indexes (PLACE/MOVE fast path)
     # ------------------------------------------------------------------
-    def _make_assign_hook(self, level: int):
+    def _make_assign_hook(self, level: int) -> Callable[[Window, int], None]:
         """Interval callback: slot newly backs a reservation of ``window``."""
         def on_assign(window: Window, slot: int) -> None:
             ws = self.window_states[level].get(window)
@@ -589,7 +589,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             # own-level occupant: slot backs its own job, in neither index
         return on_assign
 
-    def _make_release_hook(self, level: int):
+    def _make_release_hook(self, level: int) -> Callable[[Window, int], None]:
         """Interval callback: slot no longer backs ``window``."""
         def on_release(window: Window, slot: int) -> None:
             ws = self.window_states[level].get(window)
@@ -646,7 +646,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         slot_job = self.slot_job
         for idx in ws.interval_ids:
             iv = self._interval(level, idx)
-            for s in iv.assigned.get(window, ()):
+            for s in sorted(iv.assigned.get(window, ())):
                 occ = slot_job.get(s)
                 if occ is None:
                     ws.backed_empty.add(s)
@@ -939,7 +939,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             raise AssertionError("fresh interval revoked jobs")
         return iv
 
-    def _level_job_at(self, level: int):
+    def _level_job_at(self, level: int) -> Callable[[int], JobId | None]:
         slot_job = self.slot_job
         levels = self._job_levels
 

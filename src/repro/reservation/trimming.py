@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from ..core.base import ReallocatingScheduler
+from ..core.base import ReallocatingScheduler, _BatchContext
 from ..core.events import EventTracer, NullTracer
 from ..core.exceptions import InvalidRequestError
 from ..core.job import Job, JobId, Placement
@@ -204,7 +204,7 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         super()._batch_commit()
         self.inner._batch_commit()
 
-    def _batch_restore(self, ctx) -> None:
+    def _batch_restore(self, ctx: _BatchContext) -> None:
         # If a rebuild replaced the inner mid-batch, the saved pre-batch
         # inner swaps back and the replacement is simply dropped — the
         # rebuild's carry increment rolls back with it, so

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from ..core.exceptions import ValidationError
 from ..core.window import Window
+from .interval import Interval
 from .scheduler import AlignedReservationScheduler
 from .window_state import dynamic_count
 
@@ -125,7 +126,8 @@ def _check_levels(sched: AlignedReservationScheduler) -> None:
             _fail(f"job {job_id!r} window not aligned")
 
 
-def _check_interval(sched: AlignedReservationScheduler, level: int, iv) -> None:
+def _check_interval(sched: AlignedReservationScheduler, level: int,
+                    iv: Interval) -> None:
     where = f"interval level={level} idx={iv.index}"
     # lower_occupied recomputed from occupancy
     true_lower = {
@@ -176,7 +178,7 @@ def _check_window_states(sched: AlignedReservationScheduler) -> None:
                 _fail(f"window state kept for empty window {w}")
             if ws.level != level:
                 _fail(f"window state level mismatch for {w}")
-            for job_id in ws.jobs:
+            for job_id in sorted(ws.jobs, key=str):
                 if job_id not in sched.jobs:
                     _fail(f"window {w} tracks inactive job {job_id!r}")
                 if sched.jobs[job_id].window != w:
@@ -252,7 +254,7 @@ def _check_fast_path_indexes(sched: AlignedReservationScheduler) -> None:
                 iv = sched.intervals[level].get(idx)
                 if iv is None:
                     continue
-                for s in iv.assigned.get(w, ()):
+                for s in sorted(iv.assigned.get(w, ())):
                     occ = sched.slot_job.get(s)
                     if occ is None:
                         empty.add(s)
@@ -281,7 +283,7 @@ def _check_lemma8(sched: AlignedReservationScheduler) -> None:
                 iv = sched.intervals[level].get(idx)
                 if iv is None:
                     continue
-                for s in iv.assigned.get(w, ()):
+                for s in sorted(iv.assigned.get(w, ())):
                     occ = sched.slot_job.get(s)
                     if occ is not None and sched._job_levels[occ] == level:
                         occupied_by_own += 1

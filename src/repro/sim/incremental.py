@@ -24,6 +24,8 @@ mirror against the scheduler's placement map; the driver runs it every
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from ..core.base import ReallocatingScheduler
 from ..core.costs import BatchResult, RequestCost
 from ..core.exceptions import ValidationError
@@ -90,7 +92,7 @@ class IncrementalVerifier:
             self.full_audit(scheduler)
 
     def _check_changed(self, scheduler: ReallocatingScheduler,
-                       changed, where: str) -> None:
+                       changed: Iterable[JobId], where: str) -> None:
         """Release + re-admit the changed jobs against the mirror."""
         placements = scheduler.placements
         jobs = scheduler.jobs
@@ -181,7 +183,8 @@ class IncrementalVerifier:
                         self.num_machines, where=where)
         live = dict(scheduler.placements)
         if self._placements != live:
-            drift = [j for j in (set(live) | set(self._placements))
+            drift = [j for j in sorted(set(live) | set(self._placements),
+                                       key=str)
                      if self._placements.get(j) != live.get(j)]
             raise ValidationError(
                 f"{where}: mirror diverged from live schedule for jobs "

@@ -78,7 +78,7 @@ import time
 from dataclasses import dataclass, field
 from itertools import islice
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from ..core.base import (
     ReallocatingScheduler,
@@ -87,7 +87,7 @@ from ..core.base import (
 )
 from ..core.costs import BatchResult, CostLedger, RequestCost
 from ..core.exceptions import InvalidRequestError, ReproError
-from ..core.requests import InsertJob, Request, iter_batches
+from ..core.requests import Batch, InsertJob, Request, iter_batches
 from .incremental import IncrementalVerifier
 
 #: The single full-audit period for incremental verification (see the
@@ -253,7 +253,8 @@ class DriveBackend:
               skip: int = 0) -> Iterator:
         raise NotImplementedError
 
-    def apply(self, scheduler: ReallocatingScheduler, step) -> StepOutcome:
+    def apply(self, scheduler: ReallocatingScheduler,
+              step: Any) -> StepOutcome:
         raise NotImplementedError
 
     def finish(self, scheduler: ReallocatingScheduler) -> None:
@@ -270,10 +271,12 @@ class SequentialBackend(DriveBackend):
 
     name = "sequential"
 
-    def steps(self, sequence, plan, skip=0):
+    def steps(self, sequence: Iterable[Request], plan: ExecutionPlan,
+              skip: int = 0) -> Iterator[Request]:
         return islice(iter(sequence), skip, None)
 
-    def apply(self, scheduler, step):
+    def apply(self, scheduler: ReallocatingScheduler,
+              step: Request) -> StepOutcome:
         return StepOutcome(processed=1, cost=scheduler.apply(step))
 
 
@@ -286,11 +289,13 @@ class BatchedBackend(DriveBackend):
     def __init__(self, *, atomic: bool = False) -> None:
         self.atomic = atomic
 
-    def steps(self, sequence, plan, skip=0):
+    def steps(self, sequence: Iterable[Request], plan: ExecutionPlan,
+              skip: int = 0) -> Iterator[Batch]:
         return iter_batches(islice(iter(sequence), skip, None),
                             plan.batch_size)
 
-    def apply(self, scheduler, step):
+    def apply(self, scheduler: ReallocatingScheduler,
+              step: Batch) -> StepOutcome:
         result = scheduler.apply_batch(step, atomic=self.atomic)
         return StepOutcome(processed=result.processed, batch=result,
                            error=result.error if result.failed else None)
@@ -321,7 +326,8 @@ class ShardedBackend(DriveBackend):
                  parallel: bool = False) -> None:
         self.workers = resolve_shard_worker_mode(workers, parallel)
 
-    def prepare(self, scheduler, plan):
+    def prepare(self, scheduler: ReallocatingScheduler,
+                plan: ExecutionPlan) -> None:
         if not scheduler.supports_sharded_batches():
             raise InvalidRequestError(
                 f"{type(scheduler).__name__} does not support sharded "
@@ -329,16 +335,18 @@ class ShardedBackend(DriveBackend):
                 "atomic-capable per-machine sub-schedulers)"
             )
 
-    def steps(self, sequence, plan, skip=0):
+    def steps(self, sequence: Iterable[Request], plan: ExecutionPlan,
+              skip: int = 0) -> Iterator[Batch]:
         return iter_batches(islice(iter(sequence), skip, None),
                             plan.batch_size)
 
-    def apply(self, scheduler, step):
+    def apply(self, scheduler: ReallocatingScheduler,
+              step: Batch) -> StepOutcome:
         result = scheduler.apply_batch_sharded(step, workers=self.workers)
         return StepOutcome(processed=result.processed, batch=result,
                            error=result.error if result.failed else None)
 
-    def finish(self, scheduler):
+    def finish(self, scheduler: ReallocatingScheduler) -> None:
         if self.workers == "processes":
             scheduler.close_shard_workers()
 

@@ -1,0 +1,541 @@
+"""Self-tests for the contract linter (``repro lint``).
+
+Each rule family gets known-good and known-bad fixture sources pushed
+through :func:`repro.analysis.staticcheck.analyze_source` — the same
+code path real files take, with a *virtual* scope so a fixture can
+impersonate ``reservation/interval.py`` without touching the tree. The
+suite closes with the gate itself: the live ``src/repro`` tree must
+lint clean, and the determinism fixes this linter forced stay pinned by
+a hash-seed differential run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.staticcheck import (
+    DEFAULT_ROOT,
+    analyze_paths,
+    analyze_source,
+    main,
+    registered_rules,
+    resolve_rules,
+    scope_of,
+)
+
+RESERVATION = "reservation/fixture.py"
+
+
+def run(source: str, scope: str = RESERVATION, only: str | None = None):
+    """Analyze a fixture; ``only`` restricts to one rule family so a
+    fixture exercising e.g. journal-coverage isn't also held to the
+    typing-coverage bar."""
+    rules = resolve_rules([only]) if only else None
+    return analyze_source(textwrap.dedent(source), scope, rules=rules)
+
+
+def codes(report) -> list[str]:
+    return [f.code for f in report.findings]
+
+
+# ---------------------------------------------------------------------------
+# engine: suppressions, skip-file, scoping, registry
+# ---------------------------------------------------------------------------
+
+class TestEngine:
+    def test_registry_has_all_five_families(self):
+        assert set(registered_rules()) == {
+            "journal-coverage", "determinism", "pickle-boundary",
+            "rollback-safety", "typing-coverage",
+        }
+
+    def test_resolve_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            resolve_rules(["no-such-rule"])
+
+    def test_scope_of_strips_to_repro_package(self):
+        p = Path("src/repro/reservation/interval.py")
+        assert scope_of(p) == "reservation/interval.py"
+        assert scope_of(Path("elsewhere/thing.py")) == "thing.py"
+
+    def test_scoped_rule_skips_other_packages(self):
+        bad = """
+        def f():
+            for x in {1, 2, 3}:
+                pass
+        """
+        # determinism is scoped to the equivalence path...
+        assert "DET001" in codes(run(bad, "reservation/x.py"))
+        # ...and does not fire elsewhere (alignment/ is not scoped)
+        assert "DET001" not in codes(run(bad, "alignment/x.py"))
+
+    def test_named_suppression_and_counting(self):
+        src = """
+        def f(s: set) -> None:
+            for x in s.union(s):  # staticcheck: ignore[determinism]
+                pass
+        """
+        report = run(src)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_bare_suppression_silences_all_rules(self):
+        src = """
+        def f(s: set) -> None:
+            for x in s.union(s):  # staticcheck: ignore
+                pass
+        """
+        assert run(src).findings == []
+
+    def test_suppression_for_other_rule_does_not_apply(self):
+        src = """
+        def f(s: set) -> None:
+            for x in s.union(s):  # staticcheck: ignore[journal-coverage]
+                pass
+        """
+        assert "DET001" in codes(run(src))
+
+    def test_skip_file_pragma(self):
+        src = """
+        # staticcheck: skip-file
+        def f(s: set) -> None:
+            for x in s.union(s):
+                pass
+        """
+        report = run(src)
+        assert report.findings == []
+        assert report.files_checked == 1
+
+
+# ---------------------------------------------------------------------------
+# journal-coverage (JRN001)
+# ---------------------------------------------------------------------------
+
+class TestJournalCoverage:
+    def test_unjournaled_mutation_is_flagged(self):
+        src = """
+        class Interval:
+            def evict(self, window) -> None:
+                self.assigned.pop(window, None)
+        """
+        assert codes(run(src, only="journal-coverage")) == ["JRN001"]
+
+    def test_mutation_with_undo_log_append_passes(self):
+        src = """
+        class Interval:
+            def evict(self, window) -> None:
+                self.undo_log.append((0, self, window))
+                self.assigned.pop(window, None)
+        """
+        assert codes(run(src, only="journal-coverage")) == []
+
+    def test_mutation_with_first_touch_helper_passes(self):
+        src = """
+        class AlignedReservationScheduler:
+            def move(self, slot, job) -> None:
+                self._jdict(self.slot_job, slot)
+                self.slot_job[slot] = job
+        """
+        assert codes(run(src, only="journal-coverage")) == []
+
+    def test_undo_methods_are_exempt(self):
+        src = """
+        class Interval:
+            def _undo_assign(self, window, slot) -> None:
+                self.assigned[window].discard(slot)
+        """
+        assert codes(run(src, only="journal-coverage")) == []
+
+    def test_mutation_through_alias_is_caught(self):
+        src = """
+        class Interval:
+            def evict(self, window, slot) -> None:
+                have = self.assigned.get(window)
+                have.discard(slot)
+        """
+        assert codes(run(src, only="journal-coverage")) == ["JRN001"]
+
+    def test_uncontracted_class_is_ignored(self):
+        src = """
+        class ScratchBuffer:
+            def evict(self, window) -> None:
+                self.assigned.pop(window, None)
+        """
+        assert codes(run(src, only="journal-coverage")) == []
+
+    def test_delegation_placements_need_touch_log(self):
+        src = """
+        class DelegatingScheduler:
+            def _sync(self, job_id, pl) -> None:
+                self._placements[job_id] = pl
+        """
+        report = run(src, "multimachine/fixture.py", only="journal-coverage")
+        assert codes(report) == ["JRN001"]
+
+    def test_delegation_placements_with_log_touch_pass(self):
+        src = """
+        class DelegatingScheduler:
+            def _sync(self, job_id, pl) -> None:
+                self._log_touch(job_id)
+                self._placements[job_id] = pl
+        """
+        assert codes(run(src, "multimachine/fixture.py", only="journal-coverage")) == []
+
+
+# ---------------------------------------------------------------------------
+# determinism (DET001 / DET002)
+# ---------------------------------------------------------------------------
+
+class TestDeterminism:
+    @pytest.mark.parametrize("it", [
+        "self.jobs",
+        "iv.assigned.get(w, ())",
+        "iv.assigned[w]",
+        "set(a) | set(b)",
+        "a.union(b)",
+        "{x for x in y}",
+    ])
+    def test_set_like_iteration_is_flagged(self, it):
+        src = f"""
+        def f(self, iv, w, a, b, y) -> None:
+            for x in {it}:
+                pass
+        """
+        assert "DET001" in codes(run(src, only="determinism"))
+
+    def test_sorted_wrap_passes(self):
+        src = """
+        def f(self, iv, w) -> None:
+            for x in sorted(iv.assigned.get(w, ())):
+                pass
+        """
+        assert codes(run(src, only="determinism")) == []
+
+    def test_comprehension_iterating_set_is_flagged(self):
+        src = """
+        def f(self) -> list:
+            return [x for x in self.jobs]
+        """
+        assert "DET001" in codes(run(src, only="determinism"))
+
+    def test_plain_list_iteration_passes(self):
+        src = """
+        def f(self, items: list) -> None:
+            for x in items:
+                pass
+        """
+        assert codes(run(src, only="determinism")) == []
+
+    def test_id_keyed_sort_is_flagged(self):
+        src = """
+        def f(self, items: list) -> list:
+            return sorted(items, key=id)
+        """
+        assert codes(run(src, only="determinism")) == ["DET002"]
+
+    def test_id_call_in_key_lambda_is_flagged(self):
+        src = """
+        def f(self, items: list) -> None:
+            items.sort(key=lambda x: id(x))
+        """
+        assert codes(run(src, only="determinism")) == ["DET002"]
+
+    def test_stable_key_passes(self):
+        src = """
+        def f(self, items: list) -> list:
+            return sorted(items, key=str)
+        """
+        assert codes(run(src, only="determinism")) == []
+
+
+# ---------------------------------------------------------------------------
+# pickle-boundary (PKL001 / PKL002)
+# ---------------------------------------------------------------------------
+
+# the PR 4 stale-closure bug shape: hooks captured `self`, the class
+# pickled fine, and the restored copy's hooks silently mutated the
+# *dead* pre-pickle scheduler
+STALE_CLOSURE_FIXTURE = """
+class HookedInterval:
+    def __init__(self) -> None:
+        self.on_assign = lambda w, s: self._record(w, s)
+"""
+
+
+class TestPickleBoundary:
+    def test_lambda_on_self_without_getstate_is_flagged(self):
+        assert codes(run(STALE_CLOSURE_FIXTURE, only="pickle-boundary")) == ["PKL001"]
+
+    def test_setstate_rebuilding_closures_passes(self):
+        src = STALE_CLOSURE_FIXTURE + """
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self.on_assign = lambda w, s: self._record(w, s)
+"""
+        assert codes(run(src, only="pickle-boundary")) == []
+
+    def test_closure_factory_result_on_self_is_flagged(self):
+        src = """
+        class Scheduler:
+            def __init__(self) -> None:
+                self.hook = self._make_hook()
+
+            def _make_hook(self):
+                def on_event(w, s):
+                    return self
+                return on_event
+        """
+        assert codes(run(src, only="pickle-boundary")) == ["PKL001"]
+
+    def test_resource_on_self_is_flagged(self):
+        src = """
+        import threading
+
+        class Pool:
+            def __init__(self) -> None:
+                self._lock = threading.Lock()
+        """
+        assert codes(run(src, only="pickle-boundary")) == ["PKL002"]
+
+    def test_scope_excludes_worker_infrastructure(self):
+        # procworkers itself lives in multimachine/, outside the
+        # shipped-state scope: its Locks/Pipes never cross the pipe
+        src = """
+        import threading
+
+        class Pool:
+            def __init__(self) -> None:
+                self._lock = threading.Lock()
+        """
+        assert codes(run(src, "multimachine/procworkers.py", only="pickle-boundary")) == []
+
+    def test_plain_attribute_assignments_pass(self):
+        src = """
+        class Interval:
+            def __init__(self) -> None:
+                self.assigned = {}
+                self.undo_log = []
+        """
+        assert codes(run(src, only="pickle-boundary")) == []
+
+
+# ---------------------------------------------------------------------------
+# rollback-safety (RBK001 / RBK002)
+# ---------------------------------------------------------------------------
+
+class TestRollbackSafety:
+    def test_swallowed_broad_except_on_request_path_is_flagged(self):
+        src = """
+        def apply_batch(self, batch) -> None:
+            try:
+                self._run(batch)
+            except Exception:
+                pass
+        """
+        assert codes(run(src, only="rollback-safety")) == ["RBK001"]
+
+    def test_bare_except_is_flagged(self):
+        src = """
+        def _batch_commit(self) -> None:
+            try:
+                self._run()
+            except:
+                return
+        """
+        assert codes(run(src, only="rollback-safety")) == ["RBK001"]
+
+    def test_reraising_handler_passes(self):
+        src = """
+        def apply_batch(self, batch) -> None:
+            try:
+                self._run(batch)
+            except Exception:
+                self._rollback()
+                raise
+        """
+        assert codes(run(src, only="rollback-safety")) == []
+
+    def test_narrow_handler_passes(self):
+        src = """
+        def apply_batch(self, batch) -> None:
+            try:
+                self._run(batch)
+            except KeyError:
+                pass
+        """
+        assert codes(run(src, only="rollback-safety")) == []
+
+    def test_non_request_path_function_is_not_checked(self):
+        src = """
+        def _describe_failure(self) -> str:
+            try:
+                return self._detail()
+            except Exception:
+                return "?"
+        """
+        assert codes(run(src, only="rollback-safety")) == []
+
+    def test_unjournaled_mutation_in_mark_scope_is_flagged(self):
+        src = """
+        def rebalance(self, arena, window) -> None:
+            mark = arena.mark()
+            self.assigned[window] = set()
+        """
+        assert codes(run(src, only="rollback-safety")) == ["RBK002"]
+
+    def test_journaled_mutation_in_mark_scope_passes(self):
+        src = """
+        def rebalance(self, arena, window) -> None:
+            mark = arena.mark()
+            self.undo_log.append((1, self, window))
+            self.assigned[window] = set()
+        """
+        assert codes(run(src, only="rollback-safety")) == []
+
+
+# ---------------------------------------------------------------------------
+# typing-coverage (TYP001 / TYP002)
+# ---------------------------------------------------------------------------
+
+class TestTypingCoverage:
+    def test_missing_annotations_are_flagged(self):
+        src = """
+        def f(a, b):
+            return a + b
+        """
+        report = run(src, "core/fixture.py", only="typing-coverage")
+        assert codes(report) == ["TYP001", "TYP002"]
+        assert "a, b" in report.findings[0].message
+
+    def test_fully_annotated_passes(self):
+        src = """
+        def f(a: int, b: int = 0, *rest: int, **kw: int) -> int:
+            return a + b
+        """
+        assert codes(run(src, "core/fixture.py", only="typing-coverage")) == []
+
+    def test_self_and_cls_are_exempt(self):
+        src = """
+        class C:
+            def m(self, x: int) -> int:
+                return x
+
+            @classmethod
+            def n(cls) -> None:
+                pass
+        """
+        assert codes(run(src, "core/fixture.py", only="typing-coverage")) == []
+
+    def test_unannotated_vararg_is_flagged(self):
+        src = """
+        def f(*args) -> None:
+            pass
+        """
+        assert codes(run(src, "core/fixture.py", only="typing-coverage")) == ["TYP001"]
+
+    def test_nested_closures_are_not_checked(self):
+        src = """
+        def outer(x: int) -> None:
+            def inner(y):
+                return y
+        """
+        assert codes(run(src, "core/fixture.py", only="typing-coverage")) == []
+
+    def test_untyped_package_is_out_of_scope(self):
+        src = """
+        def f(a, b):
+            return a + b
+        """
+        assert codes(run(src, "workloads/fixture.py", only="typing-coverage")) == []
+
+
+# ---------------------------------------------------------------------------
+# CLI and report formats
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_list_rules_exits_zero(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "journal-coverage" in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["--rules", "bogus"]) == 2
+
+    def test_bad_file_fails_and_reports(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "reservation" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(s: set) -> None:\n    for x in s.union(s):\n        pass\n")
+        assert main([str(bad)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_json_format_is_structured(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "reservation" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(s: set) -> None:\n    for x in s.union(s):\n        pass\n")
+        main(["--format", "json", str(bad)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 1
+        assert payload["findings"][0]["code"] == "DET001"
+        assert payload["findings"][0]["rule"] == "determinism"
+
+    def test_repro_cli_exposes_lint(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["lint", "--strict"])
+        assert args.strict and args.func.__name__ == "cmd_lint"
+
+
+# ---------------------------------------------------------------------------
+# the gate: the live tree lints clean, and the fixes stay fixed
+# ---------------------------------------------------------------------------
+
+class TestLiveTree:
+    def test_src_tree_is_clean_strict(self):
+        report = analyze_paths([DEFAULT_ROOT])
+        assert report.files_checked > 50
+        assert [str(f) for f in report.findings] == []
+        assert report.ok(strict=True)
+
+    def test_hash_seed_differential(self, tmp_path):
+        """Placements are identical under different PYTHONHASHSEEDs.
+
+        Job ids are strings, so any surviving set-iteration-order
+        dependence on the request path (the DET001 findings this PR
+        fixed) shows up as divergent placements between these runs.
+        """
+        script = tmp_path / "fingerprint.py"
+        script.write_text(textwrap.dedent("""
+            from repro.core.api import ReservationScheduler
+            from repro.workloads import (
+                AlignedWorkloadConfig, random_aligned_sequence,
+            )
+
+            cfg = AlignedWorkloadConfig(num_requests=120, num_machines=2)
+            seq = random_aligned_sequence(cfg, seed=7)
+            sched = ReservationScheduler(2, gamma=8)
+            for req in seq:
+                sched.apply(req)
+            for jid in sorted(sched.placements, key=str):
+                pl = sched.placements[jid]
+                print(jid, pl.machine, pl.slot)
+        """))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).parent.parent / "src")
+        outs = []
+        for seed in ("1", "4242"):
+            env["PYTHONHASHSEED"] = seed
+            proc = subprocess.run(
+                [sys.executable, str(script)], env=env,
+                capture_output=True, text=True, timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
