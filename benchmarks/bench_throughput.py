@@ -146,6 +146,14 @@ def test_e10c_fastpath_10k(benchmark, record_result, record_json):
         ),
     )
     record_result("e10c_fastpath_10k", table)
+    # Pre-hot-path-lint numbers (PR 6's committed BENCH_e10c.json) — the
+    # before side of the HOT001/HOT002/HOT003 burn-down in this PR.
+    before = {
+        "requests_per_second_unverified": 16165,
+        "requests_per_second_incremental": 16524,
+        "scheduler_time_s_unverified": 0.619,
+        "scheduler_time_s_incremental": 0.605,
+    }
     record_json("BENCH_e10c", {
         "experiment": "e10c",
         "workload": {"requests": 10_000, "seed": 0},
@@ -159,6 +167,15 @@ def test_e10c_fastpath_10k(benchmark, record_result, record_json):
             "audit_time_s_incremental": round(inc.audit_time_s, 3),
             "verified_wall_ratio": round(ratio, 3),
         },
+        "hot_path_fix_delta": {
+            "before": before,
+            "throughput_ratio_unverified": round(
+                off.requests_per_second
+                / before["requests_per_second_unverified"], 3),
+            "throughput_ratio_incremental": round(
+                inc.requests_per_second
+                / before["requests_per_second_incremental"], 3),
+        },
         "claims": {"verified_wall_ratio_below": 2.0},
     })
     benchmark.extra_info["requests_per_second"] = off.requests_per_second
@@ -167,7 +184,7 @@ def test_e10c_fastpath_10k(benchmark, record_result, record_json):
     assert ratio < 2.0
 
 
-def test_e11_batched_vs_sequential(benchmark, record_result):
+def test_e11_batched_vs_sequential(benchmark, record_result, record_json):
     """E11 — the batch-first API on churn-storm at batch size 64.
 
     Paired-interleaved measurement: a sequential scheduler and an
@@ -264,6 +281,18 @@ def test_e11_batched_vs_sequential(benchmark, record_result):
         ),
     )
     record_result("e11_batched_throughput", table)
+    record_json("BENCH_e11", {
+        "experiment": "e11",
+        "workload": {"scenario": "churn-storm", "requests": len(seq),
+                     "seed": 0, "batch_size": batch_size},
+        "metrics": {
+            "requests_per_second_sequential": round(len(seq) / t_seq),
+            "requests_per_second_batched": round(len(seq) / t_bat),
+            "batched_over_sequential_median": round(median_ratio, 3),
+            "batched_over_sequential_aggregate": round(t_seq / t_bat, 3),
+        },
+        "claims": {"median_segment_speedup_above": 0.95},
+    })
     benchmark.extra_info["batched_over_sequential_median"] = median_ratio
     benchmark.extra_info["batched_over_sequential_aggregate"] = t_seq / t_bat
     benchmark.extra_info["batch_size"] = batch_size
@@ -466,7 +495,8 @@ def test_e11b_journal_allocation_diet(benchmark, record_result):
 
 
 @pytest.mark.parametrize("scenario", ["churn-storm", "burst-arrivals"])
-def test_e12_backend_comparison_m3(benchmark, record_result, scenario):
+def test_e12_backend_comparison_m3(benchmark, record_result, record_json,
+                                   scenario):
     """E12 — the three drive backends head to head at m=3, batch 64.
 
     Paired-segment measurement (E11's throttling-robust protocol,
@@ -571,6 +601,19 @@ def test_e12_backend_comparison_m3(benchmark, record_result, scenario):
         ),
     )
     record_result(f"e12_backends_{scenario}", table)
+    record_json("BENCH_e12", {
+        "experiment": "e12",
+        "workload": {"scenario": scenario, "requests": n, "seed": 0,
+                     "num_machines": 3, "batch_size": batch_size},
+        "metrics": {
+            "requests_per_second_sequential": round(n / times[0]),
+            "requests_per_second_batched": round(n / times[1]),
+            "requests_per_second_sharded": round(n / times[2]),
+            "batched_over_sequential_median": round(med_bat, 3),
+            "sharded_over_sequential_median": round(med_shd, 3),
+        },
+        "claims": {"sharded_median_speedup_above": 0.9},
+    }, section=scenario)
     benchmark.extra_info["batched_over_sequential_median"] = med_bat
     benchmark.extra_info["sharded_over_sequential_median"] = med_shd
     # Regression floor only: sharded must stay in the batched band
@@ -580,7 +623,8 @@ def test_e12_backend_comparison_m3(benchmark, record_result, scenario):
 
 
 @pytest.mark.parametrize("m", [3, 4])
-def test_e13_process_sharded_backend(benchmark, record_result, m):
+def test_e13_process_sharded_backend(benchmark, record_result, record_json,
+                                     m):
     """E13 — process-resident shard workers vs sequential at m=3 / m=4.
 
     Paired-segment measurement on churn-storm at batch 64 (E11/E12's
@@ -684,6 +728,20 @@ def test_e13_process_sharded_backend(benchmark, record_result, m):
         ),
     )
     record_result(f"e13_process_workers_m{m}", table)
+    record_json("BENCH_e13", {
+        "experiment": "e13",
+        "workload": {"scenario": "churn-storm", "requests": n, "seed": 0,
+                     "num_machines": m, "batch_size": batch_size},
+        "environment": {"cores": cores},
+        "metrics": {
+            "requests_per_second_sequential": round(n / times[0]),
+            "requests_per_second_process_sharded": round(n / times[1]),
+            "process_over_sequential_median": round(med, 3),
+        },
+        "claims": {
+            "median_speedup_above": 1.3 if cores >= m + 1 else 0.6,
+        },
+    }, section=f"m{m}")
     benchmark.extra_info["process_over_sequential_median"] = med
     benchmark.extra_info["cores"] = cores
     benchmark.extra_info["requests"] = n

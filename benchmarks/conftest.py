@@ -36,16 +36,27 @@ def record_result(results_dir):
 
 @pytest.fixture
 def record_json(results_dir):
-    """record_json(name, payload): persist a perf-trajectory artifact.
+    """record_json(name, payload, *, section=None): perf-trajectory artifact.
 
     Writes ``benchmarks/results/<name>.json`` (ROADMAP observability
     item c). The artifact is committed per PR so later PRs can diff
     the experiment's headline metrics against history without
     rerunning it; keys are sorted so diffs stay minimal.
+
+    ``section`` merges instead of overwriting: the payload lands under
+    that top-level key and other sections are preserved, so a
+    parametrized bench (per scenario, per machine count) accumulates
+    one artifact across its parametrizations.
     """
 
-    def _record(name: str, payload: dict) -> None:
+    def _record(name: str, payload: dict, *, section: str | None = None) -> None:
         path = results_dir / f"{name}.json"
+        if section is not None:
+            merged: dict = {}
+            if path.exists():
+                merged = json.loads(path.read_text())
+            merged[section] = payload
+            payload = merged
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"\n[perf trajectory written to {path}]")
 

@@ -1,0 +1,5 @@
+"""``python -m repro.analysis.staticcheck`` — direct CLI entry point."""
+
+from . import main
+
+raise SystemExit(main())

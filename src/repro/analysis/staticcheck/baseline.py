@@ -1,0 +1,136 @@
+"""Ratchet baseline: known findings, checked in, only allowed to shrink.
+
+The hot-path rules fire on code that predates them; blocking CI on day
+one would force mass suppressions, and suppressions never expire. The
+ratchet is the alternative: the current findings are serialized —
+line-number-independent fingerprints (``scope::code::context``) with
+occurrence counts — into ``staticcheck_baseline.json`` at the repo
+root, and ``repro lint --ratchet`` fails only when the tree is *worse*
+than the baseline:
+
+- a fingerprint not in the baseline (or a count above it) is a **new**
+  finding — fail, fix it or justify regenerating;
+- a baseline entry the tree no longer produces is **stale-loose** —
+  fail, regenerate with ``--write-baseline`` so the burned-down debt
+  can never silently come back;
+- a baseline written under a different :data:`~.report.RULES_VERSION`
+  or rule set is unusable — fail, regenerate.
+
+Both failure directions force the baseline to track reality exactly,
+so its diff history *is* the burn-down chart.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .report import RULES_VERSION, Report
+
+#: default baseline location: the repo root (three levels above the
+#: repro package this file lives in: src/repro/analysis/staticcheck)
+DEFAULT_BASELINE = (
+    Path(__file__).resolve().parents[4] / "staticcheck_baseline.json"
+)
+
+
+def _fingerprint_counts(report: Report) -> dict[str, int]:
+    return dict(Counter(f.fingerprint() for f in report.findings))
+
+
+def write_baseline(report: Report, path: Path) -> dict[str, object]:
+    """Serialize the run's findings as the new baseline; returns it."""
+    payload: dict[str, object] = {
+        "rules_version": RULES_VERSION,
+        "rules": sorted(report.rules_run),
+        "files_checked": report.files_checked,
+        "findings": dict(sorted(_fingerprint_counts(report).items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def load_baseline(path: Path) -> dict[str, object] | None:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+@dataclass
+class RatchetResult:
+    """Outcome of comparing a run against the baseline."""
+
+    baseline_path: str
+    #: fingerprints with more occurrences than the baseline allows
+    new: list[str] = field(default_factory=list)
+    #: baseline entries the tree no longer produces (stale-loose)
+    stale: list[str] = field(default_factory=list)
+    #: version / rule-set mismatch, or missing baseline
+    invalid: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.stale and self.invalid is None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "baseline": self.baseline_path,
+            "ok": self.ok,
+            "new": self.new,
+            "stale": self.stale,
+            "invalid": self.invalid,
+        }
+
+    def to_text(self) -> str:
+        if self.ok:
+            return f"ratchet ok against {self.baseline_path}"
+        lines: list[str] = []
+        if self.invalid:
+            lines.append(f"ratchet: unusable baseline — {self.invalid}")
+        for fp in self.new:
+            lines.append(
+                f"ratchet: NEW finding not in baseline: {fp} — fix it "
+                "(preferred) or regenerate with --write-baseline")
+        for fp in self.stale:
+            lines.append(
+                f"ratchet: stale-loose baseline entry no longer found: "
+                f"{fp} — regenerate with --write-baseline to lock in "
+                "the burn-down")
+        return "\n".join(lines)
+
+
+def check_ratchet(report: Report, path: Path) -> RatchetResult:
+    """Compare a run against the checked-in baseline (see module doc)."""
+    result = RatchetResult(baseline_path=str(path))
+    baseline = load_baseline(path)
+    if baseline is None:
+        result.invalid = (
+            f"no baseline at {path}; create one with --write-baseline")
+        return result
+    if baseline.get("rules_version") != RULES_VERSION:
+        result.invalid = (
+            f"baseline rules_version {baseline.get('rules_version')!r} != "
+            f"current {RULES_VERSION!r}; regenerate with --write-baseline")
+        return result
+    if baseline.get("rules") != sorted(report.rules_run):
+        result.invalid = (
+            f"baseline covers rules {baseline.get('rules')}, this run "
+            f"used {sorted(report.rules_run)}; run with the same rule "
+            "set or regenerate")
+        return result
+    allowed = baseline.get("findings") or {}
+    if not isinstance(allowed, dict):  # pragma: no cover - corrupt file
+        result.invalid = "baseline 'findings' is not an object; regenerate"
+        return result
+    current = _fingerprint_counts(report)
+    for fp, count in sorted(current.items()):
+        excess = count - int(allowed.get(fp, 0))
+        if excess > 0:
+            result.new.extend([fp] * excess)
+    for fp, count in sorted(allowed.items()):
+        missing = int(count) - current.get(fp, 0)
+        if missing > 0:
+            result.stale.extend([fp] * missing)
+    return result

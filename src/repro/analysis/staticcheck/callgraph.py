@@ -1,0 +1,604 @@
+"""Whole-repo module import graph, call graph, and hot-path tagging.
+
+The intraprocedural rules (PR 6) check one function at a time; the
+hot-path performance contract needs to know *which* functions are hot —
+``apply_batch`` three frames up makes a helper hot even though nothing
+in its own body says so. This module builds that interprocedural view
+from the same parsed :class:`~.engine.SourceFile` objects the engine
+already holds:
+
+- **Module import graph** — which repro modules import which
+  (``Program.module_imports``), resolved through relative imports.
+- **Call graph** — one :class:`FunctionInfo` node per named function
+  (methods, module-level functions, *and* named nested functions), with
+  edges resolved class-aware where the receiver is known:
+
+  - ``self.method(...)`` resolves through the receiver class, its
+    bases, **and its subclasses** (virtual dispatch: the scheduler
+    delegation chains route ``apply`` → backend overrides);
+  - ``super().method(...)`` resolves through the bases only;
+  - ``Name(...)`` resolves to same-name module-level functions, or to
+    ``Class.__init__`` (plus dataclass ``default_factory`` targets and
+    ``__post_init__``) when the name is a repo class;
+  - ``other.method(...)`` with an unknown receiver falls back to every
+    repo function of that name (conservative by-name resolution);
+  - a function *referenced* but not called (``sorted(key=self._k)``,
+    hooks stored on attributes) gets a direct edge from the referencing
+    function — the C-level or attribute-store indirection is invisible
+    to a profiler anyway, so the reference site is the honest static
+    caller;
+  - an attribute read whose name matches a repo ``@property`` gets an
+    edge to the getter (property access runs code).
+
+- **Hot propagation** — breadth-first reachability over those edges
+  from the declared hot entry points (:data:`HOT_ENTRY_POINTS`: the
+  request surface, ``Interval`` mutations, the incremental verifier)
+  tags every function ``hot: bool``. Nested named functions of a hot
+  function are also hot (they are rebuilt per call on the same path).
+
+Soundness escape hatches — :meth:`Program.has_edge` accepts three edge
+kinds beyond the explicit graph, because Python can always call where
+syntax can't see:
+
+- **dunder methods** are implicitly callable from anywhere (``hash()``,
+  ``==``, ``with``, ``repr`` in an f-string);
+- **generator functions** execute at *iteration* sites, not call
+  sites, so edges into them are implicit;
+- a function that makes a **dynamic call** (through a parameter, a
+  subscript, or a call result) may reach any *address-taken* function
+  (one that is referenced somewhere without being called).
+
+Hot propagation deliberately does **not** follow those implicit edges
+(they would tag nearly everything); the differential soundness test in
+``tests/test_callgraph.py`` checks the combination — every call edge
+observed under ``sys.setprofile`` must satisfy ``has_edge``.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from collections import deque
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Iterable, Iterator, Sequence
+
+from .engine import SourceFile
+
+#: (class-name glob, function-name glob) seeds for hot propagation: the
+#: request surface, the Interval mutation layer, and the incremental
+#: verifier's per-request path. ``*`` matches any class; module-level
+#: functions match class name ``""``.
+HOT_ENTRY_POINTS: tuple[tuple[str, str], ...] = (
+    ("*", "apply"),
+    ("*", "apply_batch"),
+    ("*", "insert"),
+    ("*", "delete"),
+    ("Interval", "add_dynamic"),
+    ("Interval", "slot_lowered"),
+    ("Interval", "slot_raised"),
+    ("Interval", "swap_slots"),
+    ("Interval", "rebalance"),
+    ("IncrementalVerifier", "observe"),
+    ("IncrementalVerifier", "verify*"),
+)
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+@dataclass
+class FunctionInfo:
+    """One named function (method, module-level, or named nested def)."""
+
+    node_id: str
+    scope: str
+    qualname: str
+    name: str
+    class_name: str | None
+    lineno: int
+    #: first physical line (decorators included) — matches
+    #: ``code.co_firstlineno`` for runtime frame mapping
+    first_lineno: int
+    end_lineno: int
+    is_property: bool
+    is_generator: bool
+    is_dunder: bool
+    node: ast.FunctionDef | ast.AsyncFunctionDef = field(repr=False)
+    #: reachable from a hot entry point (set by propagate_hot)
+    hot: bool = False
+    #: the entry point or caller that first tagged this function hot
+    hot_via: str | None = None
+    #: calls through a parameter / subscript / call result — may reach
+    #: any address-taken function
+    makes_dynamic_calls: bool = False
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: bases by name, methods by name."""
+
+    name: str
+    scope: str
+    bases: tuple[str, ...]
+    methods: dict[str, str] = field(default_factory=dict)
+    is_dataclass: bool = False
+    #: names passed as ``field(default_factory=...)`` (constructor work)
+    default_factories: tuple[str, ...] = ()
+
+
+def iter_own_nodes(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk ``fn``'s body, descending into lambdas and comprehensions
+    but not into named nested functions (those are their own nodes)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # separate call-graph node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    # yields cannot occur in lambdas, and iter_own_nodes does not
+    # descend into named nested functions, so any yield seen is fn's own
+    return any(isinstance(node, (ast.Yield, ast.YieldFrom))
+               for node in iter_own_nodes(fn))
+
+
+def _first_lineno(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> int:
+    return min([d.lineno for d in fn.decorator_list] + [fn.lineno])
+
+
+def _decorator_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for dec in fn.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _attr_chain(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` -> ["a", "b", "c"]; None if not a pure name/attr chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def module_name_of(scope: str) -> str:
+    """``reservation/scheduler.py`` -> ``repro.reservation.scheduler``."""
+    dotted = scope[:-3] if scope.endswith(".py") else scope
+    dotted = dotted.replace("/", ".")
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return f"repro.{dotted}" if dotted else "repro"
+
+
+class Program:
+    """The whole-repo interprocedural view (see module docstring)."""
+
+    def __init__(self) -> None:
+        #: node_id -> FunctionInfo
+        self.functions: dict[str, FunctionInfo] = {}
+        #: class name -> ClassInfo (class names are unique in this repo;
+        #: later definitions win, matching by-name resolution)
+        self.classes: dict[str, ClassInfo] = {}
+        #: explicit call edges (resolved + by-name + reference)
+        self.edges: dict[str, set[str]] = {}
+        #: repro module -> repro modules it imports
+        self.module_imports: dict[str, set[str]] = {}
+        #: function name -> node_ids (by-name fallback index)
+        self._by_name: dict[str, list[str]] = {}
+        #: property name -> node_ids of their getters/setters
+        self._properties: dict[str, list[str]] = {}
+        #: functions referenced without being called
+        self.address_taken: set[str] = set()
+        #: scope -> [(first_lineno, end_lineno, node_id)], sorted
+        self._spans: dict[str, list[tuple[int, int, str]]] = {}
+
+    # -- queries ----------------------------------------------------------
+    def functions_in(self, scope: str) -> list[FunctionInfo]:
+        return [f for f in self.functions.values() if f.scope == scope]
+
+    def by_name(self, name: str) -> list[str]:
+        return list(self._by_name.get(name, ()))
+
+    def function_at(self, scope: str, lineno: int) -> FunctionInfo | None:
+        """Innermost named function containing ``lineno`` (for mapping
+        runtime frames — lambdas and genexps map to their enclosure)."""
+        best: FunctionInfo | None = None
+        for start, end, node_id in self._spans.get(scope, ()):
+            if start <= lineno <= end:
+                info = self.functions[node_id]
+                if (best is None
+                        or (info.first_lineno >= best.first_lineno
+                            and info.end_lineno <= best.end_lineno)):
+                    best = info
+        return best
+
+    def has_edge(self, caller_id: str, callee_id: str) -> bool:
+        """Explicit edge, or one of the implicit soundness edges."""
+        if callee_id in self.edges.get(caller_id, ()):
+            return True
+        callee = self.functions.get(callee_id)
+        if callee is None:
+            return False
+        if callee.is_dunder or callee.is_generator:
+            return True
+        caller = self.functions.get(caller_id)
+        if caller is not None and caller.makes_dynamic_calls:
+            return callee_id in self.address_taken
+        return False
+
+    def hot_functions(self) -> list[FunctionInfo]:
+        return [f for f in self.functions.values() if f.hot]
+
+    # -- hot propagation --------------------------------------------------
+    def propagate_hot(
+        self,
+        entry_points: Sequence[tuple[str, str]] = HOT_ENTRY_POINTS,
+    ) -> None:
+        queue: deque[str] = deque()
+        for info in self.functions.values():
+            cls = info.class_name or ""
+            for cls_pat, name_pat in entry_points:
+                if fnmatch(cls, cls_pat) and fnmatch(info.name, name_pat):
+                    info.hot = True
+                    info.hot_via = f"entry:{name_pat}"
+                    queue.append(info.node_id)
+                    break
+        # nested named functions ride with their enclosing function
+        children: dict[str, list[str]] = {}
+        for node_id, info in self.functions.items():
+            if "." in info.qualname and info.class_name is None:
+                parent = node_id.rsplit(".", 1)[0]
+                if parent in self.functions:
+                    children.setdefault(parent, []).append(node_id)
+        while queue:
+            caller = queue.popleft()
+            nested = children.get(caller, [])
+            for callee in sorted(self.edges.get(caller, ())) + nested:
+                info = self.functions[callee]
+                if not info.hot:
+                    info.hot = True
+                    info.hot_via = caller
+                    queue.append(callee)
+
+    def hot_path_to(self, node_id: str) -> list[str]:
+        """The tagging chain from an entry point to ``node_id``."""
+        path = [node_id]
+        seen = {node_id}
+        via = self.functions[node_id].hot_via
+        while via is not None and not via.startswith("entry:"):
+            if via in seen:  # pragma: no cover - defensive
+                break
+            path.append(via)
+            seen.add(via)
+            via = self.functions[via].hot_via
+        if via is not None:
+            path.append(via)
+        path.reverse()
+        return path
+
+
+def build_program(
+    files: Iterable[SourceFile],
+    *,
+    entry_points: Sequence[tuple[str, str]] = HOT_ENTRY_POINTS,
+) -> Program:
+    """Index, link, and hot-tag every function in ``files``."""
+    program = Program()
+    collected: list[FunctionInfo] = []
+    for sf in files:
+        _index_file(program, sf, collected)
+    for info in collected:
+        _extract_calls(program, info)
+    for scope_spans in program._spans.values():
+        scope_spans.sort()
+    program.propagate_hot(entry_points)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# pass 1: index functions, classes, imports
+# ---------------------------------------------------------------------------
+
+def _index_file(program: Program, sf: SourceFile,
+                collected: list[FunctionInfo]) -> None:
+    module = module_name_of(sf.scope)
+    imports = program.module_imports.setdefault(module, set())
+    for node in ast.walk(sf.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            _index_import(node, module, imports)
+
+    def add_function(fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                     class_name: str | None, qualname: str) -> None:
+        decorators = _decorator_names(fn)
+        info = FunctionInfo(
+            node_id=f"{sf.scope}::{qualname}",
+            scope=sf.scope,
+            qualname=qualname,
+            name=fn.name,
+            class_name=class_name,
+            lineno=fn.lineno,
+            first_lineno=_first_lineno(fn),
+            end_lineno=fn.end_lineno or fn.lineno,
+            is_property=bool(decorators & {"property", "setter",
+                                           "cached_property"}),
+            is_generator=_is_generator(fn),
+            is_dunder=(fn.name.startswith("__") and fn.name.endswith("__")
+                       and fn.name != "__init__"),
+            node=fn,
+        )
+        program.functions[info.node_id] = info
+        program._by_name.setdefault(fn.name, []).append(info.node_id)
+        if info.is_property:
+            program._properties.setdefault(fn.name, []).append(info.node_id)
+        program._spans.setdefault(sf.scope, []).append(
+            (info.first_lineno, info.end_lineno, info.node_id))
+        collected.append(info)
+        if class_name is not None:
+            cls = program.classes.get(class_name)
+            if cls is not None and cls.scope == sf.scope:
+                cls.methods.setdefault(fn.name, info.node_id)
+        # named nested functions become their own nodes (iter_own_nodes
+        # yields them without descending, so recursion terminates)
+        for sub in iter_own_nodes(fn):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add_function(sub, None, f"{qualname}.{sub.name}")
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                _index_class(program, sf, child)
+                for item in child.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        add_function(item, child.name,
+                                     f"{child.name}.{item.name}")
+                    elif isinstance(item, ast.ClassDef):
+                        visit(child)
+                        break
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add_function(child, None, child.name)
+            elif not isinstance(child, (ast.Import, ast.ImportFrom)):
+                visit(child)
+
+    visit(sf.tree)
+
+
+def _index_class(program: Program, sf: SourceFile,
+                 node: ast.ClassDef) -> None:
+    bases: list[str] = []
+    for base in node.bases:
+        chain = _attr_chain(base)
+        if chain:
+            bases.append(chain[-1])
+    decorators: set[str] = set()
+    for dec in node.decorator_list:
+        chain = _attr_chain(dec.func if isinstance(dec, ast.Call) else dec)
+        if chain:
+            decorators.add(chain[-1])
+    factories: list[str] = []
+    for stmt in node.body:
+        value = None
+        if isinstance(stmt, ast.AnnAssign):
+            value = stmt.value
+        elif isinstance(stmt, ast.Assign):
+            value = stmt.value
+        if not isinstance(value, ast.Call):
+            continue
+        fname = _attr_chain(value.func)
+        if fname is None or fname[-1] != "field":
+            continue
+        for kw in value.keywords:
+            if kw.arg == "default_factory":
+                chain = _attr_chain(kw.value)
+                if chain:
+                    factories.append(chain[-1])
+    program.classes.setdefault(node.name, ClassInfo(
+        name=node.name,
+        scope=sf.scope,
+        bases=tuple(bases),
+        is_dataclass="dataclass" in decorators,
+        default_factories=tuple(factories),
+    ))
+
+
+def _index_import(node: ast.Import | ast.ImportFrom, module: str,
+                  imports: set[str]) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name == "repro" or alias.name.startswith("repro."):
+                imports.add(alias.name)
+        return
+    if node.level == 0:
+        base = node.module or ""
+        if base == "repro" or base.startswith("repro."):
+            imports.add(base)
+        return
+    # relative import: resolve against this module's package
+    parts = module.split(".")
+    package = parts[: len(parts) - node.level]
+    base_parts = package + (node.module.split(".") if node.module else [])
+    base = ".".join(base_parts)
+    if base == "repro" or base.startswith("repro."):
+        imports.add(base)
+
+
+# ---------------------------------------------------------------------------
+# pass 2: call-edge extraction
+# ---------------------------------------------------------------------------
+
+def _class_hierarchy(program: Program, class_name: str,
+                     *, include_subclasses: bool) -> list[ClassInfo]:
+    """The class, its transitive bases, and (optionally) subclasses."""
+    out: list[ClassInfo] = []
+    seen: set[str] = set()
+    queue = deque([class_name])
+    while queue:
+        name = queue.popleft()
+        if name in seen:
+            continue
+        seen.add(name)
+        info = program.classes.get(name)
+        if info is None:
+            continue
+        out.append(info)
+        queue.extend(info.bases)
+    if include_subclasses:
+        for name, info in sorted(program.classes.items()):
+            if name not in seen and _inherits_from(program, name, class_name):
+                out.append(info)
+    return out
+
+
+def _inherits_from(program: Program, name: str, ancestor: str) -> bool:
+    seen: set[str] = set()
+    queue = deque([name])
+    while queue:
+        current = queue.popleft()
+        if current in seen:
+            continue
+        seen.add(current)
+        info = program.classes.get(current)
+        if info is None:
+            continue
+        if ancestor in info.bases:
+            return True
+        queue.extend(info.bases)
+    return False
+
+
+def _resolve_method(program: Program, class_name: str, method: str,
+                    *, include_subclasses: bool) -> list[str]:
+    targets: list[str] = []
+    for cls in _class_hierarchy(program, class_name,
+                                include_subclasses=include_subclasses):
+        node_id = cls.methods.get(method)
+        if node_id is not None:
+            targets.append(node_id)
+    return targets
+
+
+def _extract_calls(program: Program, info: FunctionInfo) -> None:
+    edges = program.edges.setdefault(info.node_id, set())
+    call_funcs: set[int] = set()
+    for node in iter_own_nodes(info.node):
+        if isinstance(node, ast.Call):
+            call_funcs.add(id(node.func))
+    for node in iter_own_nodes(info.node):
+        if isinstance(node, ast.Call):
+            _extract_one_call(program, info, node, edges)
+        elif (isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)):
+            # property access runs the getter even as a call receiver
+            for target in program._properties.get(node.attr, ()):
+                edges.add(target)
+            if id(node) not in call_funcs:
+                # a method referenced without being called: hook store,
+                # sort key, callback argument — address-taken
+                for target in program._by_name.get(node.attr, ()):
+                    if not program.functions[target].is_property:
+                        program.address_taken.add(target)
+                        edges.add(target)
+        elif (isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in call_funcs
+                and node.id in program._by_name):
+            for target in program._by_name[node.id]:
+                program.address_taken.add(target)
+                edges.add(target)
+
+
+def _extract_one_call(program: Program, info: FunctionInfo,
+                      node: ast.Call, edges: set[str]) -> None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        receiver = func.value
+        # self.method(...) — class-aware, including subclass overrides
+        if (isinstance(receiver, ast.Name) and receiver.id == "self"
+                and info.class_name is not None):
+            targets = _resolve_method(program, info.class_name, func.attr,
+                                      include_subclasses=True)
+            if targets:
+                edges.update(targets)
+            else:
+                _by_name_edges(program, func.attr, edges)
+            return
+        # super().method(...) — bases only
+        if (isinstance(receiver, ast.Call)
+                and isinstance(receiver.func, ast.Name)
+                and receiver.func.id == "super"
+                and info.class_name is not None):
+            cls = program.classes.get(info.class_name)
+            if cls is not None:
+                for base in cls.bases:
+                    targets = _resolve_method(program, base, func.attr,
+                                              include_subclasses=False)
+                    if targets:
+                        edges.update(targets)
+                        return
+            _by_name_edges(program, func.attr, edges)
+            return
+        # ClassName.method(self, ...) — explicit unbound call
+        if (isinstance(receiver, ast.Name)
+                and receiver.id in program.classes):
+            targets = _resolve_method(program, receiver.id, func.attr,
+                                      include_subclasses=False)
+            if targets:
+                edges.update(targets)
+                return
+        # unknown receiver: conservative by-name resolution
+        _by_name_edges(program, func.attr, edges)
+        return
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in program.classes:
+            _constructor_edges(program, name, edges)
+            return
+        if name in program._by_name:
+            edges.update(program._by_name[name])
+            return
+        if name in _BUILTIN_NAMES:
+            return
+        # a parameter, local, or unresolvable name: dynamic call
+        info.makes_dynamic_calls = True
+        return
+    # calling a subscript / call result / lambda: dynamic call
+    info.makes_dynamic_calls = True
+
+
+def _by_name_edges(program: Program, name: str, edges: set[str]) -> None:
+    for target in program._by_name.get(name, ()):
+        edges.add(target)
+
+
+def _constructor_edges(program: Program, class_name: str,
+                       edges: set[str]) -> None:
+    for cls in _class_hierarchy(program, class_name,
+                                include_subclasses=False):
+        init = cls.methods.get("__init__")
+        if init is not None:
+            edges.add(init)
+            break
+    cls_info = program.classes.get(class_name)
+    if cls_info is not None:
+        post = cls_info.methods.get("__post_init__")
+        if post is not None:
+            edges.add(post)
+        for factory in cls_info.default_factories:
+            if factory in program.classes:
+                _constructor_edges(program, factory, edges)
+            else:
+                _by_name_edges(program, factory, edges)

@@ -82,18 +82,35 @@ class Rule(ABC):
     #: path prefixes (relative to the repro package) this rule runs on;
     #: None runs on every file
     scopes: tuple[str, ...] | None = None
+    #: ratcheted rules are excluded from the default (strict) rule set
+    #: and run via ``repro lint --ratchet`` against the checked-in
+    #: baseline (see ``baseline.py``) so they can land aggressive and
+    #: be burned down instead of blocking on day one
+    ratcheted: bool = False
 
     def applies(self, scope: str) -> bool:
         if self.scopes is None:
             return True
         return scope.startswith(self.scopes)
 
+    def prepare(self, files: Sequence["SourceFile"],
+                shared: dict[str, object]) -> None:
+        """Whole-program pre-pass before per-file ``check`` calls.
+
+        Called once per run with *every* parsed file (not just the ones
+        in this rule's scope) — interprocedural rules build their call
+        graph here. ``shared`` is a per-run scratch dict so rules can
+        share expensive artifacts (the hot-path rules share one
+        :class:`~.callgraph.Program`). The default is a no-op.
+        """
+
     @abstractmethod
     def check(self, sf: SourceFile) -> Iterator[Finding]:
         """Yield findings for one parsed source file."""
 
     def finding(self, sf: SourceFile, node: ast.AST, code: str,
-                message: str, *, severity: str = "error") -> Finding:
+                message: str, *, severity: str = "error",
+                context: str = "") -> Finding:
         return Finding(
             path=sf.path,
             line=getattr(node, "lineno", 1),
@@ -102,6 +119,8 @@ class Rule(ABC):
             rule=self.name,
             message=message,
             severity=severity,
+            scope=sf.scope,
+            context=context,
         )
 
 
@@ -118,15 +137,25 @@ def register(rule: Rule) -> Rule:
 
 def registered_rules() -> dict[str, Rule]:
     """Snapshot of the registry, importing the built-in rules first."""
+    from . import hotpath as _hotpath  # noqa: F401  (import registers them)
     from . import rules as _builtin  # noqa: F401  (import registers them)
 
     return dict(_REGISTRY)
 
 
-def resolve_rules(names: Sequence[str] | None = None) -> list[Rule]:
+def resolve_rules(names: Sequence[str] | None = None, *,
+                  include_ratcheted: bool = False) -> list[Rule]:
+    """Rules by name; ``None`` means the default set.
+
+    The default set excludes ratcheted rules — they fail against known
+    debt by design, so they only run when named explicitly or when
+    ``include_ratcheted`` is set (the ``--ratchet`` path, which
+    compares them against the checked-in baseline instead of zero).
+    """
     registry = registered_rules()
     if names is None:
-        return list(registry.values())
+        return [r for r in registry.values()
+                if include_ratcheted or not r.ratcheted]
     missing = [n for n in names if n not in registry]
     if missing:
         raise KeyError(
@@ -147,27 +176,44 @@ def scope_of(path: Path) -> str:
     return path.name
 
 
+def _analyze_files(files: Sequence[SourceFile],
+                   rules: Sequence[Rule]) -> Report:
+    """The shared driver: prepare every rule, then check every file.
+
+    The prepare pass sees *all* files (skip-file'd ones included — the
+    call graph must cover the whole program); the check pass honors
+    skip-file and per-line suppressions as before.
+    """
+    report = Report(rules_run=tuple(r.name for r in rules))
+    shared: dict[str, object] = {}
+    for rule in rules:
+        rule.prepare(files, shared)
+    for sf in files:
+        report.files_checked += 1
+        if sf.skip:
+            continue
+        for rule in rules:
+            if not rule.applies(sf.scope):
+                continue
+            for finding in rule.check(sf):
+                if sf.suppressed(rule.name, finding.line):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+    return report
+
+
 def analyze_source(source: str, scope: str, *, path: str | None = None,
-                   rules: Sequence[Rule] | None = None,
-                   report: Report | None = None) -> Report:
-    """Run rules over one in-memory source (the fixture entry point)."""
+                   rules: Sequence[Rule] | None = None) -> Report:
+    """Run rules over one in-memory source (the fixture entry point).
+
+    Interprocedural rules see a one-file program: hot entry points
+    declared in the fixture itself seed its hot propagation.
+    """
     if rules is None:
         rules = resolve_rules()
-    if report is None:
-        report = Report(rules_run=tuple(r.name for r in rules))
     sf = SourceFile(source, scope, path if path is not None else scope)
-    report.files_checked += 1
-    if sf.skip:
-        return report
-    for rule in rules:
-        if not rule.applies(sf.scope):
-            continue
-        for finding in rule.check(sf):
-            if sf.suppressed(rule.name, finding.line):
-                report.suppressed += 1
-            else:
-                report.findings.append(finding)
-    return report
+    return _analyze_files([sf], rules)
 
 
 def iter_python_files(paths: Iterable[Path]) -> list[Path]:
@@ -185,13 +231,8 @@ def analyze_paths(paths: Iterable[Path],
     """Run rules over files and directories; the CLI entry point."""
     if rules is None:
         rules = resolve_rules()
-    report = Report(rules_run=tuple(r.name for r in rules))
-    for path in iter_python_files(paths):
-        analyze_source(
-            path.read_text(),
-            scope_of(path),
-            path=str(path),
-            rules=rules,
-            report=report,
-        )
-    return report
+    files = [
+        SourceFile(path.read_text(), scope_of(path), path=str(path))
+        for path in iter_python_files(paths)
+    ]
+    return _analyze_files(files, rules)

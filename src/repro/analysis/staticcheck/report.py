@@ -16,6 +16,13 @@ from dataclasses import dataclass, field
 #: finding severities, in increasing order of seriousness
 SEVERITIES = ("warning", "error")
 
+#: rule-registry version: bump whenever the rule set, a rule's matching
+#: logic, or the baseline fingerprint format changes. The ratchet
+#: refuses a baseline written under a different version (the artifact
+#: alone must reveal staleness), and the JSON report embeds it so a CI
+#: artifact is self-describing.
+RULES_VERSION = "2.0"
+
 
 @dataclass(frozen=True, order=True)
 class Finding:
@@ -28,9 +35,20 @@ class Finding:
     rule: str
     message: str
     severity: str = "error"
+    #: path relative to the repro package root — machine-independent,
+    #: used for baseline fingerprints (``path`` may be absolute)
+    scope: str = ""
+    #: enclosing function qualname (``Class.method``) — line-stable
+    #: anchor for baseline fingerprints; interprocedural rules set it
+    context: str = ""
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity for the ratchet baseline."""
+        anchor = self.context if self.context else f"line{self.line}"
+        return f"{self.scope or self.path}::{self.code}::{anchor}"
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -41,6 +59,8 @@ class Finding:
             "rule": self.rule,
             "severity": self.severity,
             "message": self.message,
+            "scope": self.scope,
+            "context": self.context,
         }
 
 
@@ -73,9 +93,10 @@ class Report:
             return False
         return not (strict and self.warnings)
 
-    def to_json(self) -> str:
-        payload = {
+    def to_json(self, *, extra: dict[str, object] | None = None) -> str:
+        payload: dict[str, object] = {
             "summary": {
+                "rules_version": RULES_VERSION,
                 "files_checked": self.files_checked,
                 "rules_run": list(self.rules_run),
                 "findings": len(self.findings),
@@ -86,6 +107,8 @@ class Report:
             },
             "findings": [f.to_dict() for f in sorted(self.findings)],
         }
+        if extra:
+            payload.update(extra)
         return json.dumps(payload, indent=2, sort_keys=False)
 
     def to_text(self) -> str:

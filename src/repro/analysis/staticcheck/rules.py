@@ -567,7 +567,8 @@ class TypingCoverageRule(Rule):
         "functions in the strictly-typed packages must have full "
         "parameter and return annotations"
     )
-    scopes = ("core/", "reservation/", "multimachine/", "sim/", "analysis/")
+    scopes = ("core/", "reservation/", "multimachine/", "sim/", "analysis/",
+              "workloads/", "baselines/")
 
     def check(self, sf: SourceFile) -> Iterator[Finding]:
         # module-level functions and class methods only; nested closures

@@ -265,6 +265,12 @@ def cmd_lint(args) -> int:
         argv += ["--format", args.format_]
     if args.strict:
         argv.append("--strict")
+    if args.ratchet:
+        argv.append("--ratchet")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
     if args.list_rules:
         argv.append("--list-rules")
     return staticcheck_main(argv)
@@ -424,6 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="format_")
     p.add_argument("--strict", action="store_true",
                    help="fail on warnings too, not just errors")
+    p.add_argument("--ratchet", action="store_true",
+                   help="run the ratcheted hot-path rules against the "
+                        "checked-in baseline")
+    p.add_argument("--baseline", default="",
+                   help="ratchet baseline path (default: repo root)")
+    p.add_argument("--write-baseline", action="store_true",
+                   dest="write_baseline",
+                   help="regenerate the ratchet baseline from this run")
     p.add_argument("--list-rules", action="store_true", dest="list_rules")
     p.set_defaults(func=cmd_lint)
     return parser

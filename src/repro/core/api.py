@@ -211,6 +211,7 @@ class ReservationScheduler(ReallocatingScheduler):
                 failure=inner.failure, rolled_back=True, error=inner.error,
             )
         costs = []
+        record = self.ledger.record
         for request, inner_cost in zip(batch, inner.costs):
             if isinstance(request, InsertJob):
                 job = request.job
@@ -228,7 +229,7 @@ class ReservationScheduler(ReallocatingScheduler):
                 migrated=inner_cost.migrated,
                 n_active=n_active, max_span=max_span,
             )
-            self.ledger.record(cost)
+            record(cost)
             costs.append(cost)
         net = inner.net
         if net is not None:

@@ -482,10 +482,23 @@ class Interval:
             if have == want:
                 continue
             w = windows[pos]
-            slots_set = self.assigned[w]
-            empties = sorted(s for s in slots_set if level_job_at(s) is None)
-            occupied = sorted(s for s in slots_set if level_job_at(s) is not None)
-            for s in (empties + occupied)[:have - want]:
+            excess = have - want
+            # Single sorted pass partitioning empty vs occupied backing
+            # slots (empties release first); stops probing once enough
+            # empties are in hand, since occupied slots then never
+            # release.
+            empties: list[int] = []
+            occupied: list[int] = []
+            for s in sorted(self.assigned[w]):
+                if level_job_at(s) is None:
+                    empties.append(s)
+                    if len(empties) == excess:
+                        break
+                else:
+                    occupied.append(s)
+            for s in empties:
+                self._do_release(w, pos, s)
+            for s in occupied[:excess - len(empties)]:
                 self._do_release(w, pos, s)
                 job = level_job_at(s)
                 if job is not None:

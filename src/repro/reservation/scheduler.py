@@ -243,6 +243,12 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             lv: self._make_release_hook(lv)
             for lv in range(1, policy.num_reservation_levels + 1)
         }
+        #: level -> cached occupancy probe for Interval.rebalance; built
+        #: once here so the rebalance path allocates no closures per call
+        self._level_probes = {
+            lv: self._make_level_probe(lv)
+            for lv in range(1, policy.num_reservation_levels + 1)
+        }
 
     # ------------------------------------------------------------------
     # serialization (worker-resident schedulers cross a process boundary)
@@ -266,6 +272,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         state = self.__dict__.copy()
         del state["_assign_hooks"]
         del state["_release_hooks"]
+        del state["_level_probes"]
         # the arena is process-local scratch (empty at every legal
         # serialization point); the restored scheduler gets a fresh one
         del state["_arena"]
@@ -277,6 +284,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         levels = range(1, self.policy.num_reservation_levels + 1)
         self._assign_hooks = {lv: self._make_assign_hook(lv) for lv in levels}
         self._release_hooks = {lv: self._make_release_hook(lv) for lv in levels}
+        self._level_probes = {lv: self._make_level_probe(lv) for lv in levels}
         for lv, table in self.intervals.items():
             for iv in table.values():
                 iv.on_assign = self._assign_hooks[lv]
@@ -540,10 +548,13 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         # incrementally, because a request that failed deep inside
         # _apply_insert/_apply_delete mutated the map without being
         # recorded in the batch's churn.
+        # In place (not rebound): the cached level probes close over
+        # this dict by reference.
         level_of = self.policy.level_of_span
-        self._job_levels = {
-            job_id: level_of(job.span) for job_id, job in self.jobs.items()
-        }
+        levels_map = self._job_levels
+        levels_map.clear()
+        for job_id, job in self.jobs.items():
+            levels_map[job_id] = level_of(job.span)
         self._poisoned = ctx.saved["poisoned"]
 
     # ------------------------------------------------------------------
@@ -609,8 +620,9 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         """
         occ = self.slot_job.get(slot)
         occ_level = self._job_levels[occ] if occ is not None else None
+        interval_index = self.policy.interval_index
         for lv in range(1, self.policy.num_reservation_levels + 1):
-            iv = self.intervals[lv].get(self.policy.interval_index(lv, slot))
+            iv = self.intervals[lv].get(interval_index(lv, slot))
             if iv is None:
                 continue
             window = iv.slot_owner.get(slot)
@@ -644,14 +656,16 @@ class AlignedReservationScheduler(ReallocatingScheduler):
                          self.policy.intervals_of_window(level, window))
         levels = self._job_levels
         slot_job = self.slot_job
+        backed_empty_add = ws.backed_empty.add
+        backed_covered_add = ws.backed_covered.add
         for idx in ws.interval_ids:
             iv = self._interval(level, idx)
             for s in sorted(iv.assigned.get(window, ())):
                 occ = slot_job.get(s)
                 if occ is None:
-                    ws.backed_empty.add(s)
+                    backed_empty_add(s)
                 elif levels[occ] != level:
-                    ws.backed_covered.add(s)
+                    backed_covered_add(s)
         states[window] = ws
         return ws
 
@@ -666,11 +680,13 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         self._jwindow_state(ws)
         ws.jobs.add(job_id)
         # Invariant 5: two new dynamic reservations, round-robin targets.
+        base_index = ws.interval_ids.start
+        emit = self.tracer.emit
         for pos, delta in rr_diff(x_old, ws.x, ws.n_intervals).items():
-            iv = self._interval(level, ws.interval_ids.start + pos)
+            iv = self._interval(level, base_index + pos)
             self._jtouch(iv)
             iv.add_dynamic(window, delta)
-            self.tracer.emit("reserve", job_id, level, f"interval {iv.index} {delta:+d}")
+            emit("reserve", job_id, level, f"interval {iv.index} {delta:+d}")
             self._rebalance(iv)
         self._place(job_id, window, level)
 
@@ -680,8 +696,9 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         x_old = ws.x
         self._jwindow_state(ws)
         ws.jobs.discard(job_id)
+        base_index = ws.interval_ids.start
         for pos, delta in rr_diff(x_old, ws.x, ws.n_intervals).items():
-            iv = self._interval(level, ws.interval_ids.start + pos)
+            iv = self._interval(level, base_index + pos)
             self._jtouch(iv)
             iv.add_dynamic(window, delta)
             self._rebalance(iv)
@@ -725,6 +742,8 @@ class AlignedReservationScheduler(ReallocatingScheduler):
     ) -> int | None:
         """Index-free reference implementation of the PLACE slot choice."""
         fallback: int | None = None
+        slot_job = self.slot_job
+        levels = self._job_levels
         for idx in self.policy.intervals_of_window(level, window):
             iv = self.intervals[level].get(idx)
             if iv is None:
@@ -732,10 +751,10 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             for s in sorted(iv.assigned.get(window, ())):
                 if s == exclude:
                     continue
-                occ = self.slot_job.get(s)
+                occ = slot_job.get(s)
                 if occ is None:
                     return s
-                if self._job_levels[occ] == level:
+                if levels[occ] == level:
                     continue
                 if fallback is None:
                     fallback = s
@@ -769,9 +788,10 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             self.tracer.emit("displace-swap", displaced, self._job_levels[displaced],
                              f"{new} -> {old}")
         # Ancestor bookkeeping swap (Figure 1, lines 12-13).
+        interval_index = self.policy.interval_index
         for lv in self.policy.levels_above(level):
-            idx_old = self.policy.interval_index(lv, old)
-            idx_new = self.policy.interval_index(lv, new)
+            idx_old = interval_index(lv, old)
+            idx_new = interval_index(lv, new)
             if idx_old != idx_new:  # pragma: no cover - defensive
                 raise AssertionError(
                     "MOVE endpoints must share every ancestor interval"
@@ -804,8 +824,9 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         # The slot leaves the allowance of levels (level, top].
         top = (displaced_level if displaced_level is not None
                else self.policy.num_reservation_levels)
+        interval_index = self.policy.interval_index
         for lv in range(level + 1, top + 1):
-            iv = self.intervals[lv].get(self.policy.interval_index(lv, slot))
+            iv = self.intervals[lv].get(interval_index(lv, slot))
             if iv is not None:
                 if slot not in iv.lower_occupied:
                     self._jtouch(iv)
@@ -816,8 +837,9 @@ class AlignedReservationScheduler(ReallocatingScheduler):
 
     def _notify_raised(self, slot: int, level: int) -> None:
         """A level-``level`` job vacated ``slot``: higher allowances grow."""
+        interval_index = self.policy.interval_index
         for lv in range(level + 1, self.policy.num_reservation_levels + 1):
-            iv = self.intervals[lv].get(self.policy.interval_index(lv, slot))
+            iv = self.intervals[lv].get(interval_index(lv, slot))
             if iv is not None:
                 if slot in iv.lower_occupied:
                     self._jtouch(iv)
@@ -838,10 +860,11 @@ class AlignedReservationScheduler(ReallocatingScheduler):
     # ------------------------------------------------------------------
     def _insert_base(self, job_id: JobId, window: Window) -> None:
         current_id, current_window = job_id, window
+        emit = self.tracer.emit
         for _guard in range(2 * self.policy.base_threshold.bit_length() + 4):
             slot = self._find_base_slot(current_window)
             if slot is not None:
-                self.tracer.emit("base-place", current_id, 0, f"slot {slot}")
+                emit("base-place", current_id, 0, f"slot {slot}")
                 self._occupy(current_id, 0, slot)
                 return
             victim = self._find_base_victim(current_window)
@@ -856,7 +879,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             vslot = self.job_slot[victim]
             self._clear_placement(victim, vslot)
             self._set_placement(current_id, vslot)
-            self.tracer.emit("base-cascade", victim, 0, f"evicted from {vslot}")
+            emit("base-cascade", victim, 0, f"evicted from {vslot}")
             current_id, current_window = victim, self.jobs[victim].window
         raise AssertionError(  # pragma: no cover - cascade strictly grows spans
             "base-level cascade exceeded the span-doubling bound"
@@ -890,11 +913,14 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         """
         best: JobId | None = None
         best_key: tuple[int, int] | None = None
+        slot_job = self.slot_job
+        levels = self._job_levels
+        jobs = self.jobs
         for s in window.slots():
-            occ = self.slot_job.get(s)
-            if occ is None or self._job_levels[occ] != 0:
+            occ = slot_job.get(s)
+            if occ is None or levels[occ] != 0:
                 continue
-            span = self.jobs[occ].span
+            span = jobs[occ].span
             if span <= window.span:
                 continue
             key = (span, s)
@@ -920,10 +946,13 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             on_release=self._release_hooks[level],
             closure_undo=self._closure_journal,
         )
+        slot_job = self.slot_job
+        levels = self._job_levels
+        lower_occupied_add = iv.lower_occupied.add
         for s in iv.slots():
-            occ = self.slot_job.get(s)
-            if occ is not None and self._job_levels[occ] < level:
-                iv.lower_occupied.add(s)
+            occ = slot_job.get(s)
+            if occ is not None and levels[occ] < level:
+                lower_occupied_add(s)
         journal = self._journal
         if journal is not None:
             journal.append(_closure_pop(table, index)
@@ -939,7 +968,15 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             raise AssertionError("fresh interval revoked jobs")
         return iv
 
-    def _level_job_at(self, level: int) -> Callable[[int], JobId | None]:
+    def _make_level_probe(self, level: int) -> Callable[[int], JobId | None]:
+        """Occupancy probe handed to :meth:`Interval.rebalance`.
+
+        Built once per level (``_level_probes``) so the rebalance hot
+        path performs a dict lookup instead of allocating a closure per
+        call. Closes over the live maps by reference, which is why
+        ``_job_levels`` must only ever be mutated in place — see
+        ``_batch_restore``.
+        """
         slot_job = self.slot_job
         levels = self._job_levels
 
@@ -949,6 +986,9 @@ class AlignedReservationScheduler(ReallocatingScheduler):
                 return occ
             return None
         return probe
+
+    def _level_job_at(self, level: int) -> Callable[[int], JobId | None]:
+        return self._level_probes[level]
 
     def _empty_at(self, slot: int) -> bool:
         return slot not in self.slot_job

@@ -54,7 +54,7 @@ hold, and all are deterministic given a seed.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -136,7 +136,7 @@ def iter_appointment_book(
             yield DeleteJob(victim)
 
 
-def appointment_book_sequence(**kwargs) -> RequestSequence:
+def appointment_book_sequence(**kwargs: Any) -> RequestSequence:
     """Materialized form of :func:`iter_appointment_book`."""
     return RequestSequence(iter_appointment_book(**kwargs))
 
@@ -197,7 +197,7 @@ def iter_cluster_trace(
                 yield DeleteJob(victim)
 
 
-def cluster_trace_sequence(**kwargs) -> RequestSequence:
+def cluster_trace_sequence(**kwargs: Any) -> RequestSequence:
     """Materialized form of :func:`iter_cluster_trace`."""
     return RequestSequence(iter_cluster_trace(**kwargs))
 
@@ -297,7 +297,7 @@ def iter_churn_storm(
             yield DeleteJob(victim)
 
 
-def churn_storm_sequence(**kwargs) -> RequestSequence:
+def churn_storm_sequence(**kwargs: Any) -> RequestSequence:
     """Materialized form of :func:`iter_churn_storm`."""
     return RequestSequence(iter_churn_storm(**kwargs))
 
@@ -365,7 +365,7 @@ def iter_adversarial_span_mix(
             yield DeleteJob(victim)
 
 
-def adversarial_span_mix_sequence(**kwargs) -> RequestSequence:
+def adversarial_span_mix_sequence(**kwargs: Any) -> RequestSequence:
     """Materialized form of :func:`iter_adversarial_span_mix`."""
     return RequestSequence(iter_adversarial_span_mix(**kwargs))
 
@@ -449,7 +449,7 @@ def iter_burst_arrivals(
                 yield DeleteJob(victim)
 
 
-def burst_arrivals_sequence(**kwargs) -> RequestSequence:
+def burst_arrivals_sequence(**kwargs: Any) -> RequestSequence:
     """Materialized form of :func:`iter_burst_arrivals`."""
     return RequestSequence(iter_burst_arrivals(**kwargs))
 
@@ -500,7 +500,7 @@ def iter_steady_state(
             yield DeleteJob(victim)
 
 
-def steady_state_sequence(**kwargs) -> RequestSequence:
+def steady_state_sequence(**kwargs: Any) -> RequestSequence:
     """Materialized form of :func:`iter_steady_state`."""
     return RequestSequence(iter_steady_state(**kwargs))
 

@@ -1,0 +1,317 @@
+"""Tests for the interprocedural call-graph engine (``callgraph.py``).
+
+Unit tests drive :func:`build_program` over small fixture programs;
+the suite closes with the *soundness differential*: a real engine
+scenario runs under ``sys.setprofile`` and every observed runtime call
+edge between ``src/repro`` functions must be accepted by the static
+graph's :meth:`Program.has_edge` — the static analysis may overtag,
+but it must never miss a hot call path the interpreter actually takes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.analysis.staticcheck import SourceFile, build_program, scope_of
+from repro.analysis.staticcheck.callgraph import module_name_of
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def program_of(*files: tuple[str, str]):
+    """Build a Program from (scope, source) pairs."""
+    sfs = [SourceFile(textwrap.dedent(src), scope, scope)
+           for scope, src in files]
+    return build_program(sfs)
+
+
+# ---------------------------------------------------------------------------
+# call-edge resolution
+# ---------------------------------------------------------------------------
+
+class TestEdges:
+    def test_self_method_edge(self):
+        p = program_of(("core/m.py", """
+        class S:
+            def apply(self, r):
+                return self._helper(r)
+
+            def _helper(self, r):
+                return r
+        """))
+        assert p.has_edge("core/m.py::S.apply", "core/m.py::S._helper")
+
+    def test_virtual_dispatch_reaches_subclass_override(self):
+        p = program_of(("core/m.py", """
+        class Base:
+            def apply(self, r):
+                return self.handle(r)
+
+            def handle(self, r):
+                return r
+
+        class Impl(Base):
+            def handle(self, r):
+                return r + 1
+        """))
+        assert p.has_edge("core/m.py::Base.apply", "core/m.py::Base.handle")
+        assert p.has_edge("core/m.py::Base.apply", "core/m.py::Impl.handle")
+
+    def test_super_call_resolves_to_base_only(self):
+        p = program_of(("core/m.py", """
+        class Base:
+            def setup(self):
+                return 1
+
+        class Impl(Base):
+            def setup(self):
+                return super().setup() + 1
+        """))
+        assert p.has_edge("core/m.py::Impl.setup", "core/m.py::Base.setup")
+
+    def test_constructor_edge_covers_init_and_factories(self):
+        p = program_of(("core/m.py", """
+        from dataclasses import dataclass, field
+
+        def default_table():
+            return {}
+
+        @dataclass
+        class Row:
+            table: dict = field(default_factory=default_table)
+
+            def __post_init__(self):
+                pass
+
+        class Plain:
+            def __init__(self):
+                pass
+
+        def make():
+            return Plain(), Row()
+        """))
+        assert p.has_edge("core/m.py::make", "core/m.py::Plain.__init__")
+        assert p.has_edge("core/m.py::make", "core/m.py::Row.__post_init__")
+        assert p.has_edge("core/m.py::make", "core/m.py::default_table")
+
+    def test_unknown_receiver_falls_back_by_name(self):
+        p = program_of(
+            ("core/a.py", """
+            class Outer:
+                def apply(self, r):
+                    return self.inner.refresh(r)
+            """),
+            ("core/b.py", """
+            class Inner:
+                def refresh(self, r):
+                    return r
+            """),
+        )
+        assert p.has_edge("core/a.py::Outer.apply", "core/b.py::Inner.refresh")
+
+    def test_reference_without_call_is_address_taken(self):
+        p = program_of(("core/m.py", """
+        class S:
+            def apply(self, xs):
+                return sorted(xs, key=self._key)
+
+            def _key(self, x):
+                return x
+        """))
+        assert "core/m.py::S._key" in p.address_taken
+        assert p.has_edge("core/m.py::S.apply", "core/m.py::S._key")
+
+    def test_dynamic_caller_reaches_address_taken(self):
+        p = program_of(("core/m.py", """
+        class S:
+            def apply(self, cb):
+                return cb(1)
+
+            def register(self):
+                return self._hook
+
+            def _hook(self, x):
+                return x
+
+            def _never_referenced(self):
+                return 0
+        """))
+        apply_ = p.functions["core/m.py::S.apply"]
+        assert apply_.makes_dynamic_calls
+        assert p.has_edge("core/m.py::S.apply", "core/m.py::S._hook")
+        assert not p.has_edge("core/m.py::S.apply",
+                              "core/m.py::S._never_referenced")
+
+    def test_generator_and_dunder_edges_are_implicit(self):
+        p = program_of(("core/m.py", """
+        class S:
+            def __len__(self):
+                return 0
+
+            def stream(self):
+                yield 1
+
+            def unrelated(self):
+                return 2
+        """))
+        assert p.has_edge("core/m.py::S.unrelated", "core/m.py::S.__len__")
+        assert p.has_edge("core/m.py::S.unrelated", "core/m.py::S.stream")
+        assert not p.has_edge("core/m.py::S.__len__",
+                              "core/m.py::S.unrelated")
+
+    def test_property_read_edges_to_getter(self):
+        p = program_of(("core/m.py", """
+        class S:
+            @property
+            def load(self):
+                return self._load
+
+            def apply(self, other):
+                return other.load + 1
+        """))
+        assert p.has_edge("core/m.py::S.apply", "core/m.py::S.load")
+
+
+# ---------------------------------------------------------------------------
+# hot propagation
+# ---------------------------------------------------------------------------
+
+class TestHotPropagation:
+    FIXTURE = ("reservation/m.py", """
+    class S:
+        def insert(self, job):
+            return self._place(job)
+
+        def _place(self, job):
+            def probe(slot):
+                return slot
+            return probe(job)
+
+        def report(self):
+            return "cold"
+    """)
+
+    def test_entry_points_and_callees_are_hot(self):
+        p = program_of(self.FIXTURE)
+        assert p.functions["reservation/m.py::S.insert"].hot
+        assert p.functions["reservation/m.py::S._place"].hot
+        assert not p.functions["reservation/m.py::S.report"].hot
+
+    def test_nested_functions_inherit_hotness(self):
+        p = program_of(self.FIXTURE)
+        assert p.functions["reservation/m.py::S._place.probe"].hot
+
+    def test_hot_path_to_reconstructs_the_chain(self):
+        p = program_of(self.FIXTURE)
+        path = p.hot_path_to("reservation/m.py::S._place")
+        assert path == ["entry:insert", "reservation/m.py::S.insert",
+                        "reservation/m.py::S._place"]
+
+
+# ---------------------------------------------------------------------------
+# frame mapping and module imports
+# ---------------------------------------------------------------------------
+
+class TestMapping:
+    def test_function_at_picks_innermost(self):
+        p = program_of(("core/m.py", """
+        class S:
+            def outer(self):
+                x = 1
+
+                def inner(y):
+                    return y + x
+                return inner(2)
+        """))
+        inner = p.function_at("core/m.py", 6)
+        assert inner is not None and inner.qualname == "S.outer.inner"
+        outer = p.function_at("core/m.py", 3)
+        assert outer is not None and outer.qualname == "S.outer"
+        assert p.function_at("core/m.py", 999) is None
+
+    def test_module_name_of(self):
+        assert (module_name_of("reservation/scheduler.py")
+                == "repro.reservation.scheduler")
+        assert module_name_of("core/__init__.py") == "repro.core"
+
+    def test_live_tree_module_imports_resolve(self):
+        files = [SourceFile(f.read_text(), scope_of(f), str(f))
+                 for f in sorted(SRC_ROOT.rglob("*.py"))]
+        p = build_program(files)
+        imports = p.module_imports["repro.reservation.scheduler"]
+        assert "repro.reservation.interval" in imports
+        assert any(m.startswith("repro.core") for m in imports)
+
+
+# ---------------------------------------------------------------------------
+# the soundness differential: runtime edges vs the static graph
+# ---------------------------------------------------------------------------
+
+class TestSoundness:
+    def test_profiled_scenario_edges_are_in_static_graph(self):
+        from repro.core.api import ReservationScheduler
+        from repro.workloads import (
+            AlignedWorkloadConfig, random_aligned_sequence,
+        )
+
+        files = [SourceFile(f.read_text(), scope_of(f), str(f))
+                 for f in sorted(SRC_ROOT.rglob("*.py"))]
+        program = build_program(files)
+        prefix = str(SRC_ROOT) + os.sep
+
+        def scope_for(frame):
+            filename = frame.f_code.co_filename
+            if not filename.startswith(prefix):
+                return None
+            return filename[len(prefix):].replace(os.sep, "/")
+
+        edges: set[tuple[str, str]] = set()
+
+        def profiler(frame, event, arg):
+            if event != "call":
+                return
+            callee_scope = scope_for(frame)
+            if callee_scope is None:
+                return
+            caller = frame.f_back
+            # skip synthetic frames (exec'd dataclass code, etc.)
+            while (caller is not None
+                   and caller.f_code.co_filename.startswith("<")):
+                caller = caller.f_back
+            if caller is None:
+                return
+            caller_scope = scope_for(caller)
+            if caller_scope is None:
+                return  # called from the test or the stdlib
+            callee = program.function_at(
+                callee_scope, frame.f_code.co_firstlineno)
+            caller_fn = program.function_at(caller_scope, caller.f_lineno)
+            if callee is None or caller_fn is None:
+                return  # module-level frames
+            if caller_fn.node_id != callee.node_id:
+                edges.add((caller_fn.node_id, callee.node_id))
+
+        cfg = AlignedWorkloadConfig(num_requests=150, num_machines=2)
+        seq = random_aligned_sequence(cfg, seed=11)
+        sys.setprofile(profiler)
+        try:
+            sched = ReservationScheduler(2, gamma=8)
+            for req in seq:
+                sched.apply(req)
+        finally:
+            sys.setprofile(None)
+
+        assert len(edges) > 50, "scenario too small to be meaningful"
+        missing = sorted(
+            f"{caller} -> {callee}"
+            for caller, callee in edges
+            if not program.has_edge(caller, callee)
+        )
+        assert missing == [], (
+            f"{len(missing)} runtime call edge(s) invisible to the static "
+            "call graph:\n" + "\n".join(missing)
+        )

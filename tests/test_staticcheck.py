@@ -21,14 +21,28 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.staticcheck import (
+    DEFAULT_BASELINE,
     DEFAULT_ROOT,
+    RULES_VERSION,
     analyze_paths,
     analyze_source,
+    check_ratchet,
+    load_baseline,
     main,
     registered_rules,
     resolve_rules,
     scope_of,
+    write_baseline,
 )
+
+CONTRACT_RULES = {
+    "journal-coverage", "determinism", "pickle-boundary",
+    "rollback-safety", "typing-coverage",
+}
+HOT_RULES = {
+    "hot-closures", "hot-comprehensions", "hot-attr-chains",
+    "hot-complexity", "hot-allocations",
+}
 
 RESERVATION = "reservation/fixture.py"
 
@@ -50,11 +64,17 @@ def codes(report) -> list[str]:
 # ---------------------------------------------------------------------------
 
 class TestEngine:
-    def test_registry_has_all_five_families(self):
-        assert set(registered_rules()) == {
-            "journal-coverage", "determinism", "pickle-boundary",
-            "rollback-safety", "typing-coverage",
-        }
+    def test_registry_has_all_ten_families(self):
+        assert set(registered_rules()) == CONTRACT_RULES | HOT_RULES
+
+    def test_hot_rules_are_ratcheted_and_contract_rules_are_not(self):
+        registry = registered_rules()
+        assert {n for n, r in registry.items() if r.ratcheted} == HOT_RULES
+
+    def test_default_rule_set_excludes_ratcheted(self):
+        assert {r.name for r in resolve_rules()} == CONTRACT_RULES
+        assert ({r.name for r in resolve_rules(include_ratcheted=True)}
+                == CONTRACT_RULES | HOT_RULES)
 
     def test_resolve_unknown_rule_raises(self):
         with pytest.raises(KeyError):
@@ -453,7 +473,313 @@ class TestTypingCoverage:
         def f(a, b):
             return a + b
         """
-        assert codes(run(src, "workloads/fixture.py", only="typing-coverage")) == []
+        assert codes(run(src, "adversaries/fixture.py", only="typing-coverage")) == []
+
+
+# ---------------------------------------------------------------------------
+# interprocedural hot-path rules (HOT001-003, CPLX001, ALLOC001)
+# ---------------------------------------------------------------------------
+#
+# Fixtures are one-file programs: hot propagation seeds from entry-point
+# names declared *in the fixture* (``insert``/``apply``/...), so each
+# fixture carries its own hot caller reaching the code under test.
+
+class TestHotPathRules:
+    def test_closure_in_hot_callee_is_flagged(self):
+        src = """
+        class S:
+            def insert(self, job):
+                return self._helper(job)
+
+            def _helper(self, job):
+                cb = lambda x: x + 1
+                return cb(job)
+        """
+        report = run(src, only="hot-closures")
+        assert codes(report) == ["HOT001"]
+        assert "[hot via insert]" in report.findings[0].message
+        assert report.findings[0].context == "S._helper"
+
+    def test_closure_in_cold_function_passes(self):
+        src = """
+        class S:
+            def summarize(self, job):
+                cb = lambda x: x + 1
+                return cb(job)
+        """
+        assert codes(run(src, only="hot-closures")) == []
+
+    def test_closure_in_exempt_undo_helper_passes(self):
+        src = """
+        class S:
+            def insert(self, job):
+                return self._undo_move(job)
+
+            def _undo_move(self, job):
+                cb = lambda x: x + 1
+                return cb(job)
+        """
+        assert codes(run(src, only="hot-closures")) == []
+
+    def test_comprehension_in_hot_loop_is_flagged(self):
+        src = """
+        class S:
+            def apply(self, reqs):
+                for r in reqs:
+                    xs = [x + 1 for x in r]
+                return xs
+        """
+        assert codes(run(src, only="hot-comprehensions")) == ["HOT002"]
+
+    def test_comprehension_outside_loop_passes(self):
+        src = """
+        class S:
+            def apply(self, reqs):
+                return [x + 1 for x in reqs]
+        """
+        assert codes(run(src, only="hot-comprehensions")) == []
+
+    def test_attr_chain_in_hot_loop_is_flagged(self):
+        src = """
+        class S:
+            def insert(self, jobs):
+                for j in jobs:
+                    self.policy.index.add(j)
+        """
+        report = run(src, only="hot-attr-chains")
+        assert codes(report) == ["HOT003"]
+        assert "self.policy.index.add" in report.findings[0].message
+
+    def test_attr_chain_bound_to_local_passes(self):
+        src = """
+        class S:
+            def insert(self, jobs):
+                add = self.policy.index.add
+                for j in jobs:
+                    add(j)
+        """
+        assert codes(run(src, only="hot-attr-chains")) == []
+
+    def test_attr_chain_with_rebound_base_passes(self):
+        src = """
+        class S:
+            def insert(self, jobs):
+                for ws in jobs:
+                    ws.backed.index.add(ws)
+        """
+        # `ws` is the loop target: the chain is not loop-invariant
+        assert codes(run(src, only="hot-attr-chains")) == []
+
+    def test_journaled_map_scan_is_flagged(self):
+        src = """
+        class S:
+            def insert(self, job):
+                for jid in self.placements:
+                    if jid == job:
+                        return True
+                return False
+        """
+        assert codes(run(src, only="hot-complexity")) == ["CPLX001"]
+
+    def test_journaled_map_scan_via_items_is_flagged(self):
+        src = """
+        class S:
+            def delete(self, job):
+                return sorted(self.slot_job.items())
+        """
+        assert codes(run(src, only="hot-complexity")) == ["CPLX001"]
+
+    def test_unjournaled_map_scan_passes(self):
+        src = """
+        class S:
+            def insert(self, job):
+                for jid in self.scratch:
+                    pass
+        """
+        assert codes(run(src, only="hot-complexity")) == []
+
+    def test_allocation_in_innermost_hot_loop_is_flagged(self):
+        src = """
+        class S:
+            def apply(self, reqs):
+                for r in reqs:
+                    tmp = []
+                    tmp.append(r)
+        """
+        assert codes(run(src, only="hot-allocations")) == ["ALLOC001"]
+
+    def test_allocation_in_outer_loop_passes(self):
+        src = """
+        class S:
+            def apply(self, reqs):
+                for r in reqs:
+                    tmp = []
+                    for x in r:
+                        tmp.append(x)
+        """
+        # the outer loop is not innermost; the inner loop allocates nothing
+        assert codes(run(src, only="hot-allocations")) == []
+
+    def test_hot_findings_respect_suppressions(self):
+        src = """
+        class S:
+            def insert(self, jobs):
+                for j in jobs:
+                    self.policy.index.add(j)  # staticcheck: ignore[hot-attr-chains]
+        """
+        report = run(src, only="hot-attr-chains")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_hotness_propagates_through_delegation(self):
+        src = """
+        class Outer:
+            def apply(self, req):
+                return self.inner.handle(req)
+
+        class Inner:
+            def handle(self, req):
+                cb = lambda: req
+                return cb()
+        """
+        # unknown-receiver call resolves by name to Inner.handle
+        assert codes(run(src, only="hot-closures")) == ["HOT001"]
+
+
+# ---------------------------------------------------------------------------
+# ratchet baseline
+# ---------------------------------------------------------------------------
+
+HOT_FIXTURE = """
+class S:
+    def insert(self, jobs):
+        for j in jobs:
+            self.policy.index.add(j)
+"""
+
+
+def hot_report(source: str = HOT_FIXTURE):
+    rules = [r for r in resolve_rules(include_ratcheted=True) if r.ratcheted]
+    return analyze_source(textwrap.dedent(source), RESERVATION, rules=rules)
+
+
+class TestRatchet:
+    def test_roundtrip_is_clean(self, tmp_path):
+        report = hot_report()
+        path = tmp_path / "baseline.json"
+        write_baseline(report, path)
+        result = check_ratchet(hot_report(), path)
+        assert result.ok, result.to_text()
+
+    def test_baseline_payload_shape(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(hot_report(), path)
+        payload = load_baseline(path)
+        assert payload["rules_version"] == RULES_VERSION
+        assert payload["rules"] == sorted(HOT_RULES)
+        assert payload["findings"] == {
+            "reservation/fixture.py::HOT003::S.insert": 1,
+        }
+
+    def test_new_finding_fails(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(hot_report("class S:\n    pass\n"), path)
+        result = check_ratchet(hot_report(), path)
+        assert not result.ok
+        assert result.new == ["reservation/fixture.py::HOT003::S.insert"]
+        assert result.stale == []
+
+    def test_fixed_finding_goes_stale_loose(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(hot_report(), path)
+        result = check_ratchet(hot_report("class S:\n    pass\n"), path)
+        assert not result.ok
+        assert result.stale == ["reservation/fixture.py::HOT003::S.insert"]
+        assert result.new == []
+
+    def test_fingerprints_survive_line_moves(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(hot_report(), path)
+        shifted = "# a new leading comment\n\n" + HOT_FIXTURE
+        result = check_ratchet(hot_report(shifted), path)
+        assert result.ok, result.to_text()
+
+    def test_missing_baseline_is_invalid(self, tmp_path):
+        result = check_ratchet(hot_report(), tmp_path / "absent.json")
+        assert not result.ok
+        assert "no baseline" in result.invalid
+
+    def test_version_mismatch_is_invalid(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        payload = write_baseline(hot_report(), path)
+        payload["rules_version"] = "0.1"
+        path.write_text(json.dumps(payload))
+        result = check_ratchet(hot_report(), path)
+        assert not result.ok
+        assert "rules_version" in result.invalid
+
+    def test_rule_set_mismatch_is_invalid(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(hot_report(), path)
+        report = analyze_source(
+            textwrap.dedent(HOT_FIXTURE), RESERVATION,
+            rules=resolve_rules(["hot-closures"]))
+        result = check_ratchet(report, path)
+        assert not result.ok
+        assert "rule" in result.invalid
+
+
+class TestRatchetCli:
+    def fixture_tree(self, tmp_path) -> Path:
+        root = tmp_path / "repro" / "reservation"
+        root.mkdir(parents=True)
+        (root / "mod.py").write_text(textwrap.dedent(HOT_FIXTURE))
+        return tmp_path / "repro"
+
+    def test_write_then_ratchet_passes(self, tmp_path, capsys):
+        tree = self.fixture_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--write-baseline", "--baseline", str(baseline),
+                     str(tree)]) == 0
+        assert main(["--ratchet", "--baseline", str(baseline),
+                     str(tree)]) == 0
+        assert "ratchet ok" in capsys.readouterr().out
+
+    def test_regression_fails_with_new_finding(self, tmp_path, capsys):
+        tree = self.fixture_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--write-baseline", "--baseline", str(baseline),
+                     str(tree)]) == 0
+        (tree / "reservation" / "worse.py").write_text(textwrap.dedent("""
+            class T:
+                def delete(self, jobs):
+                    for j in jobs:
+                        self.ledger.log.append(j)
+        """))
+        assert main(["--ratchet", "--baseline", str(baseline),
+                     str(tree)]) == 1
+        assert "NEW finding" in capsys.readouterr().out
+
+    def test_burned_down_debt_fails_stale_loose(self, tmp_path, capsys):
+        tree = self.fixture_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--write-baseline", "--baseline", str(baseline),
+                     str(tree)]) == 0
+        (tree / "reservation" / "mod.py").write_text("class S:\n    pass\n")
+        assert main(["--ratchet", "--baseline", str(baseline),
+                     str(tree)]) == 1
+        assert "stale-loose" in capsys.readouterr().out
+
+    def test_ratchet_json_embeds_result(self, tmp_path, capsys):
+        tree = self.fixture_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main(["--write-baseline", "--baseline", str(baseline), str(tree)])
+        capsys.readouterr()
+        assert main(["--ratchet", "--format", "json",
+                     "--baseline", str(baseline), str(tree)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ratchet"]["ok"] is True
+        assert payload["summary"]["rules_version"] == RULES_VERSION
 
 
 # ---------------------------------------------------------------------------
@@ -483,8 +809,15 @@ class TestCli:
         main(["--format", "json", str(bad)])
         payload = json.loads(capsys.readouterr().out)
         assert payload["summary"]["errors"] == 1
+        assert payload["summary"]["rules_version"] == RULES_VERSION
+        assert payload["summary"]["files_checked"] == 1
         assert payload["findings"][0]["code"] == "DET001"
         assert payload["findings"][0]["rule"] == "determinism"
+
+    def test_list_rules_marks_ratcheted(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "hot-closures" in out and "(ratcheted)" in out
 
     def test_repro_cli_exposes_lint(self):
         from repro.cli import build_parser
@@ -503,6 +836,19 @@ class TestLiveTree:
         assert report.files_checked > 50
         assert [str(f) for f in report.findings] == []
         assert report.ok(strict=True)
+
+    def test_src_tree_passes_the_hot_path_ratchet(self):
+        """The checked-in baseline exactly matches the live tree.
+
+        Fails in both directions: a new hot-path finding (regression)
+        and a baseline entry the tree no longer produces (burned-down
+        debt that must be locked in with --write-baseline).
+        """
+        rules = [r for r in resolve_rules(include_ratcheted=True)
+                 if r.ratcheted]
+        report = analyze_paths([DEFAULT_ROOT], rules)
+        result = check_ratchet(report, DEFAULT_BASELINE)
+        assert result.ok, result.to_text()
 
     def test_hash_seed_differential(self, tmp_path):
         """Placements are identical under different PYTHONHASHSEEDs.
