@@ -90,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule subset (default: every non-ratcheted "
              "rule; with --ratchet, every ratcheted rule)")
     parser.add_argument(
+        "--select", default="",
+        help="comma-separated rule families to keep from the resolved "
+             "set (so a CI job runs one family group without "
+             "re-running every rule)")
+    parser.add_argument(
         "--format", default="text", choices=["text", "json"],
         dest="format_", help="report format")
     parser.add_argument(
@@ -122,13 +127,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     ratchet_mode = args.ratchet or args.write_baseline
     names = ([n.strip() for n in args.rules.split(",") if n.strip()]
              or None)
+    select = ([n.strip() for n in args.select.split(",") if n.strip()]
+              or None)
     try:
         if names is None and ratchet_mode:
             # the ratchet covers exactly the ratcheted rule families
-            rules = [r for r in resolve_rules(include_ratcheted=True)
+            rules = [r for r in resolve_rules(include_ratcheted=True,
+                                              select=select)
                      if r.ratcheted]
         else:
-            rules = resolve_rules(names, include_ratcheted=ratchet_mode)
+            rules = resolve_rules(names, include_ratcheted=ratchet_mode,
+                                  select=select)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2

@@ -69,6 +69,8 @@ class RatchetResult:
     stale: list[str] = field(default_factory=list)
     #: version / rule-set mismatch, or missing baseline
     invalid: str | None = None
+    #: findings present in both the run and the baseline (debt carried)
+    unchanged: int = 0
 
     @property
     def ok(self) -> bool:
@@ -81,11 +83,18 @@ class RatchetResult:
             "new": self.new,
             "stale": self.stale,
             "invalid": self.invalid,
+            "counts": {
+                "new": len(self.new),
+                "fixed": len(self.stale),
+                "unchanged": self.unchanged,
+            },
         }
 
     def to_text(self) -> str:
         if self.ok:
-            return f"ratchet ok against {self.baseline_path}"
+            return (
+                f"ratchet ok against {self.baseline_path} "
+                f"[new=0 fixed=0 unchanged={self.unchanged}]")
         lines: list[str] = []
         if self.invalid:
             lines.append(f"ratchet: unusable baseline — {self.invalid}")
@@ -98,6 +107,10 @@ class RatchetResult:
                 f"ratchet: stale-loose baseline entry no longer found: "
                 f"{fp} — regenerate with --write-baseline to lock in "
                 "the burn-down")
+        if self.invalid is None:
+            lines.append(
+                f"ratchet: new={len(self.new)} fixed={len(self.stale)} "
+                f"unchanged={self.unchanged}")
         return "\n".join(lines)
 
 
@@ -133,4 +146,6 @@ def check_ratchet(report: Report, path: Path) -> RatchetResult:
         missing = int(count) - current.get(fp, 0)
         if missing > 0:
             result.stale.extend([fp] * missing)
+    result.unchanged = sum(
+        min(count, int(allowed.get(fp, 0))) for fp, count in current.items())
     return result

@@ -139,28 +139,44 @@ def registered_rules() -> dict[str, Rule]:
     """Snapshot of the registry, importing the built-in rules first."""
     from . import hotpath as _hotpath  # noqa: F401  (import registers them)
     from . import rules as _builtin  # noqa: F401  (import registers them)
+    from . import stateflow as _stateflow  # noqa: F401  (ditto)
 
     return dict(_REGISTRY)
 
 
 def resolve_rules(names: Sequence[str] | None = None, *,
-                  include_ratcheted: bool = False) -> list[Rule]:
+                  include_ratcheted: bool = False,
+                  select: Sequence[str] | None = None) -> list[Rule]:
     """Rules by name; ``None`` means the default set.
 
     The default set excludes ratcheted rules — they fail against known
     debt by design, so they only run when named explicitly or when
     ``include_ratcheted`` is set (the ``--ratchet`` path, which
     compares them against the checked-in baseline instead of zero).
+
+    ``select`` narrows whatever set the other arguments resolve to,
+    keeping only the named families (the ``--select`` CLI flag, so CI
+    jobs run one family group without re-running every rule). Unknown
+    names raise ``KeyError``, same as ``names``.
     """
     registry = registered_rules()
     if names is None:
-        return [r for r in registry.values()
-                if include_ratcheted or not r.ratcheted]
-    missing = [n for n in names if n not in registry]
-    if missing:
-        raise KeyError(
-            f"unknown rule(s) {missing}; available: {sorted(registry)}")
-    return [registry[n] for n in names]
+        resolved = [r for r in registry.values()
+                    if include_ratcheted or not r.ratcheted]
+    else:
+        missing = [n for n in names if n not in registry]
+        if missing:
+            raise KeyError(
+                f"unknown rule(s) {missing}; available: {sorted(registry)}")
+        resolved = [registry[n] for n in names]
+    if select is not None:
+        missing = [n for n in select if n not in registry]
+        if missing:
+            raise KeyError(
+                f"unknown rule(s) {missing}; available: {sorted(registry)}")
+        wanted = set(select)
+        resolved = [r for r in resolved if r.name in wanted]
+    return resolved
 
 
 def scope_of(path: Path) -> str:

@@ -21,7 +21,7 @@ SEVERITIES = ("warning", "error")
 #: refuses a baseline written under a different version (the artifact
 #: alone must reveal staleness), and the JSON report embeds it so a CI
 #: artifact is self-describing.
-RULES_VERSION = "2.0"
+RULES_VERSION = "3.0"
 
 
 @dataclass(frozen=True, order=True)

@@ -261,6 +261,8 @@ def cmd_lint(args) -> int:
     argv = [str(p) for p in args.paths]
     if args.rules:
         argv += ["--rules", args.rules]
+    if args.select:
+        argv += ["--select", args.select]
     if args.format_ != "text":
         argv += ["--format", args.format_]
     if args.strict:
@@ -426,6 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="files or directories (default: the repro package)")
     p.add_argument("--rules", default="",
                    help="comma-separated rule subset (default: all)")
+    p.add_argument("--select", default="",
+                   help="comma-separated rule families to keep from the "
+                        "resolved set (exit 2 on unknown names)")
     p.add_argument("--format", default="text", choices=["text", "json"],
                    dest="format_")
     p.add_argument("--strict", action="store_true",

@@ -26,6 +26,7 @@ from collections import deque
 from typing import Iterable, Mapping
 
 from ..alignment.align import align_job
+from ..analysis.sanitize import sanitize_enabled
 from ..levels.policy import LevelPolicy, PAPER_POLICY
 from ..multimachine.delegation import DelegatingScheduler
 from ..reservation.trimming import TrimmedReservationScheduler
@@ -59,8 +60,11 @@ class ReservationScheduler(ReallocatingScheduler):
     journal:
         Undo-journal representation of the per-machine reservation
         schedulers: ``"arena"`` (default — tuple-opcode entries on a
-        reusable arena) or ``"closure"`` (the original closure journal,
-        kept as the rollback-equivalence test oracle).
+        reusable arena), ``"closure"`` (the original closure journal,
+        kept as the rollback-equivalence test oracle), or
+        ``"arena-sanitize"`` (arena plus checking container proxies,
+        the runtime journal-coverage oracle; also selected by
+        ``REPRO_SANITIZE=1`` in the environment).
 
     Example
     -------
@@ -87,6 +91,8 @@ class ReservationScheduler(ReallocatingScheduler):
         journal: str = "arena",
     ) -> None:
         super().__init__(num_machines=num_machines)
+        if journal == "arena" and sanitize_enabled():
+            journal = "arena-sanitize"
         self.gamma = gamma
         self.policy = policy
         self.journal_impl = journal

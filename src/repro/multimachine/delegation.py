@@ -62,6 +62,16 @@ if TYPE_CHECKING:  # pragma: no cover - import-cycle-free type aliases
 _NOT_SEEN = object()
 
 
+def _fresh_member_sets(m: int) -> list[set[JobId]]:
+    """One empty job-id set per machine (a balancer membership table)."""
+    return [set() for _ in range(m)]
+
+
+def _failure_index(failure: tuple[int, ReproError]) -> int:
+    """Sort key for shard failures: the failing request's global index."""
+    return failure[0]
+
+
 def _changed_ids(sub: ReallocatingScheduler, cost: RequestCost,
                  subject: JobId) -> tuple[JobId, ...]:
     """Ids whose placement a sub-request may have changed.
@@ -138,28 +148,30 @@ class WindowBalancer:
         ops, self._oplog = self._oplog, None
         if ops is None:
             return
+        members = self._members
+        where = self._where
+        count = self._count
         for op in reversed(ops):
             kind = op[0]
             if kind == "ins":
                 self._unrecord_insert(op[1])
             elif kind == "del":
                 _, job_id, window, machine = op
-                self._members.setdefault(
-                    window, [set() for _ in range(self.m)]
-                )[machine].add(job_id)
-                self._where[job_id] = (window, machine)
-                self._count[window] = self._count.get(window, 0) + 1
+                table = members.get(window)
+                if table is None:
+                    table = members[window] = _fresh_member_sets(self.m)
+                table[machine].add(job_id)
+                where[job_id] = (window, machine)
+                count[window] = count.get(window, 0) + 1
             else:  # "mig"
                 _, job_id, window, old = op
-                new = self._where[job_id][1]
-                self._members[window][new].discard(job_id)
-                self._members[window][old].add(job_id)
-                self._where[job_id] = (window, old)
+                new = where[job_id][1]
+                members[window][new].discard(job_id)
+                members[window][old].add(job_id)
+                where[job_id] = (window, old)
 
     def record_insert(self, job_id: JobId, window: Window, machine: int) -> None:
-        members = self._members.setdefault(
-            window, [set() for _ in range(self.m)]
-        )
+        members = self._members.setdefault(window, _fresh_member_sets(self.m))
         members[machine].add(job_id)
         self._where[job_id] = (window, machine)
         self._count[window] = self._count.get(window, 0) + 1
@@ -343,7 +355,10 @@ class ShardWorker:
                 return
             sub_placements = sub.placements
             op.changed = _changed_ids(sub, cost, op.job_id)
-            op.post = {jid: sub_placements.get(jid) for jid in op.changed}
+            post: dict[JobId, Placement | None] = {}
+            for jid in op.changed:
+                post[jid] = sub_placements.get(jid)
+            op.post = post
 
 
 class DelegatingScheduler(ReallocatingScheduler):
@@ -398,13 +413,14 @@ class DelegatingScheduler(ReallocatingScheduler):
         """
         sub = self.machines[machine]
         sub_placements = sub.placements
+        placements = self._placements
         for job_id in _changed_ids(sub, cost, subject):
             self._log_touch(job_id)
             pl = sub_placements.get(job_id)
             if pl is None:
-                self._placements.pop(job_id, None)
+                placements.pop(job_id, None)
             else:
-                self._placements[job_id] = Placement(machine, pl.slot)
+                placements[job_id] = Placement(machine, pl.slot)
 
     def _apply_insert(self, job: Job) -> None:
         self._leave_process_mode()
@@ -487,6 +503,24 @@ class DelegatingScheduler(ReallocatingScheduler):
             out[planned.ops[0].machine].append(request)
         return out
 
+    def _sim_count(self, counts: dict[Window, int], window: Window) -> int:
+        """Simulated per-window count: burst overlay over the live balancer."""
+        c = counts.get(window)
+        if c is None:
+            c = counts[window] = self.balancer.count(window)
+        return c
+
+    def _sim_members(self, members: dict[Window, list[set[JobId]]],
+                     window: Window) -> list[set[JobId]]:
+        """Simulated per-window membership: copy-on-first-touch overlay."""
+        ms = members.get(window)
+        if ms is None:
+            live = self.balancer._members.get(window)
+            ms = ([set(s) for s in live] if live is not None
+                  else _fresh_member_sets(self.num_machines))
+            members[window] = ms
+        return ms
+
     def plan_shard_execution(
         self, requests: Batch | Iterable[Request],
     ) -> ShardPlan:
@@ -511,27 +545,12 @@ class DelegatingScheduler(ReallocatingScheduler):
         batch = requests if isinstance(requests, Batch) else Batch(requests)
         m = self.num_machines
         balancer = self.balancer
+        where_live = balancer._where
         counts: dict[Window, int] = {}
         members: dict[Window, list[set[JobId]]] = {}
         #: overlay of (window, machine) per job; None = deleted in batch
         where: dict[JobId, tuple[Window, int] | None] = {}
         batch_jobs: dict[JobId, Job] = {}
-
-        def sim_count(window: Window) -> int:
-            c = counts.get(window)
-            if c is None:
-                c = balancer.count(window)
-                counts[window] = c
-            return c
-
-        def sim_members(window: Window) -> list[set[JobId]]:
-            ms = members.get(window)
-            if ms is None:
-                live = balancer._members.get(window)
-                ms = ([set(s) for s in live] if live is not None
-                      else [set() for _ in range(m)])
-                members[window] = ms
-            return ms
 
         planned: list[PlannedRequest] = []
         for index, request in enumerate(batch):
@@ -542,10 +561,10 @@ class DelegatingScheduler(ReallocatingScheduler):
                         jid not in where and jid in self.jobs):
                     raise InvalidRequestError(f"job {jid!r} already active")
                 w = job.window
-                c = sim_count(w)
+                c = self._sim_count(counts, w)
                 machine = c % m
                 counts[w] = c + 1
-                sim_members(w)[machine].add(jid)
+                self._sim_members(members, w)[machine].add(jid)
                 where[jid] = (w, machine)
                 batch_jobs[jid] = job
                 planned.append(PlannedRequest(
@@ -557,12 +576,12 @@ class DelegatingScheduler(ReallocatingScheduler):
                 jid = request.job_id
                 spot = where.get(jid, _NOT_SEEN)
                 if spot is _NOT_SEEN:
-                    spot = balancer._where.get(jid)
+                    spot = where_live.get(jid)
                 if spot is None:
                     raise InvalidRequestError(f"job {jid!r} not active")
                 w, machine = spot
-                c = sim_count(w)
-                mem = sim_members(w)
+                c = self._sim_count(counts, w)
+                mem = self._sim_members(members, w)
                 donor = (c - 1) % m
                 mover: JobId | None = None
                 if donor != machine:
@@ -696,7 +715,7 @@ class DelegatingScheduler(ReallocatingScheduler):
         if failures:
             for worker in workers:
                 worker.sub._batch_abort()
-            failed_index, error = min(failures, key=lambda f: f[0])
+            failed_index, error = min(failures, key=_failure_index)
             return BatchResult(
                 costs=[], net=None, size=len(batch), atomic=True,
                 failed=True, failed_index=failed_index,
@@ -813,6 +832,7 @@ class DelegatingScheduler(ReallocatingScheduler):
         """
         placements = self._placements
         balancer = self.balancer
+        record_cost = self.ledger.record
         batch_touched: dict[JobId, Placement | None] = {}
         costs = []
         for pr in plan.requests:
@@ -853,7 +873,7 @@ class DelegatingScheduler(ReallocatingScheduler):
                 n_active=n_active, max_span=max_span,
             )
             if record:
-                self.ledger.record(cost)
+                record_cost(cost)
             costs.append(cost)
         self.last_touched = None
         return costs, batch_touched

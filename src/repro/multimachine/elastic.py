@@ -205,6 +205,10 @@ class ElasticScheduler(DelegatingScheduler):
     def _execute(self, moves: list[Move],
                  evicted: dict[JobId, Job] | None = None) -> None:
         """Apply moves through the single-machine scheduler layers."""
+        # defensive: both callers already left process mode, but a
+        # worker-resident sub must never see a coordinator-side mutation
+        # (no-op when no pool is open)
+        self._leave_process_mode()
         evicted = evicted or {}
         for job_id, src, dst in moves:
             if src is None:

@@ -81,6 +81,11 @@ DEFAULT_SNAPSHOT_EVERY = 64
 WireOp = tuple
 
 
+def _failure_index(failure: tuple[int, ReproError]) -> int:
+    """Sort key for shard failures: the failing request's global index."""
+    return failure[0]
+
+
 def _describe_failure(exc: ReproError) -> tuple:
     """Best-effort picklable form of a worker-side scheduler failure."""
     try:
@@ -248,6 +253,7 @@ class ProcessShardPool:
         process.start()
         child_conn.close()
         handle = _WorkerHandle(machine, process, parent_conn, snapshot)
+        replay_log = handle.replay
         for ops in replay:
             parent_conn.send(("burst", ops))
             reply = parent_conn.recv()
@@ -257,8 +263,8 @@ class ProcessShardPool:
                     f"burst: {reply!r}"
                 )
             parent_conn.send(("commit",))
-            handle.replay.append(ops)
-        handle.bursts_since_snapshot = len(handle.replay)
+            replay_log.append(ops)
+        handle.bursts_since_snapshot = len(replay_log)
         return handle
 
     def _respawn(self, machine: int) -> None:
@@ -345,12 +351,13 @@ class ProcessShardPool:
             raise RuntimeError("previous burst has no verdict yet")
         streams: dict[int, list[WireOp]] = {}
         for machine, ops in plan.per_machine.items():
-            if ops:
-                streams[machine] = [
-                    (op.req_index, op.insert,
-                     op.job if op.insert else op.job_id)
-                    for op in ops
-                ]
+            if not ops:
+                continue
+            stream: list[WireOp] = []
+            for op in ops:
+                stream.append((op.req_index, op.insert,
+                               op.job if op.insert else op.job_id))
+            streams[machine] = stream
         crashed: list[int] = []
         active: list[int] = []
         for machine, payload in streams.items():
@@ -381,7 +388,7 @@ class ProcessShardPool:
             for machine in dict.fromkeys(crashed):
                 self._respawn(machine)
             if failures:
-                return min(failures, key=lambda f: f[0])
+                return min(failures, key=_failure_index)
             dead = sorted(dict.fromkeys(crashed))
             return None, WorkerCrashError(
                 f"shard worker(s) {dead} died mid-burst; burst rolled "
@@ -391,10 +398,10 @@ class ProcessShardPool:
             results = replies[machine][1]
             for op, (changed, post) in zip(plan.per_machine[machine], results):
                 op.changed = tuple(changed)
-                op.post = {
-                    jid: (None if slot is None else Placement(0, slot))
-                    for jid, slot in post.items()
-                }
+                restored: dict[JobId, Placement | None] = {}
+                for jid, slot in post.items():
+                    restored[jid] = None if slot is None else Placement(0, slot)
+                op.post = restored
         self._pending = streams
         return None
 
@@ -424,7 +431,7 @@ class ProcessShardPool:
                     handle.conn.send(("snapshot",))
                     reply = handle.conn.recv()
                     handle.snapshot = reply[1]
-                    handle.replay = []
+                    handle.replay.clear()
                     handle.bursts_since_snapshot = 0
                 except (EOFError, OSError, BrokenPipeError):
                     self._respawn(machine)

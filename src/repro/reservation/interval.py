@@ -276,12 +276,15 @@ class Interval:
                 f"dynamic reservations for {window} would go negative at "
                 f"interval {self.index} (level {self.level})"
             )
+        # position lookup first: it is the only raise-capable step, and
+        # it must not fire between the container mutation and the undo
+        # append (rollback would miss the mutation)
+        if self._dyn is not None:
+            self._dyn[self._pos(window)] += delta
         if new:
             self.dynamic_res[window] = new
         else:
             self.dynamic_res.pop(window, None)
-        if self._dyn is not None:
-            self._dyn[self._pos(window)] += delta
         self._invalidate()
         log = self.undo_log
         if log is not None:
@@ -315,13 +318,16 @@ class Interval:
         self._free_discard(slot)
         if self._counts is not None:
             self._counts[pos] += 1
-        if self.on_assign is not None:
-            self.on_assign(window, slot)
+        # undo entry before the hook: the scheduler-side hook can raise
+        # (underallocation checks), and a raise between the mutation and
+        # the append would leave the assign invisible to rollback
         log = self.undo_log
         if log is not None:
             log.append(self._closure_assign(window, pos, slot)
                        if self.closure_undo
                        else (OP_ASSIGN, self, window, pos, slot))
+        if self.on_assign is not None:
+            self.on_assign(window, slot)
 
     def _closure_assign(self, window: Window, pos: int, slot: int) -> Callable[[], None]:
         return lambda: self._undo_assign(window, pos, slot)
@@ -347,13 +353,15 @@ class Interval:
         self._free_add(slot)
         if self._counts is not None:
             self._counts[pos] -= 1
-        if self.on_release is not None:
-            self.on_release(window, slot)
+        # undo entry before the hook, same ordering contract as
+        # _do_assign: a raising hook must find the release journaled
         log = self.undo_log
         if log is not None:
             log.append(self._closure_release(window, pos, slot)
                        if self.closure_undo
                        else (OP_RELEASE, self, window, pos, slot))
+        if self.on_release is not None:
+            self.on_release(window, slot)
 
     def _closure_release(self, window: Window, pos: int, slot: int) -> Callable[[], None]:
         return lambda: self._undo_release(window, pos, slot)
@@ -379,17 +387,19 @@ class Interval:
             raise ValueError(f"slot {slot} outside interval [{self.lo},{self.hi})")
         if slot in self.lower_occupied:
             return
+        # raise-capable position lookup before any mutation, and the
+        # undo entry before the hook: a raise between mutating and
+        # appending would leave the revocation invisible to rollback
+        owner = self.slot_owner.get(slot)
+        if owner is not None and self._counts is not None:
+            self._counts[self._pos(owner)] -= 1
         self.lower_occupied.add(slot)
-        owner = self.slot_owner.pop(slot, None)
         if owner is not None:
+            del self.slot_owner[slot]
             have = self.assigned[owner]
             have.discard(slot)
             if not have:
                 del self.assigned[owner]
-            if self._counts is not None:
-                self._counts[self._pos(owner)] -= 1
-            if self.on_release is not None:
-                self.on_release(owner, slot)
         else:
             self._free_discard(slot)
         self._invalidate()
@@ -398,6 +408,8 @@ class Interval:
             log.append(self._closure_slot_lowered(slot, owner)
                        if self.closure_undo
                        else (OP_LOWERED, self, slot, owner))
+        if owner is not None and self.on_release is not None:
+            self.on_release(owner, slot)
 
     def _closure_slot_lowered(self, slot: int, owner: Window | None) -> Callable[[], None]:
         return lambda: self._undo_slot_lowered(slot, owner)

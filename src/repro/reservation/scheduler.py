@@ -79,6 +79,7 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, Mapping
 
+from ..analysis.sanitize import install_sanitizer, sanitize_enabled
 from ..core.base import ReallocatingScheduler, _BatchContext
 from ..core.events import EventTracer, NullTracer
 from ..core.exceptions import (
@@ -182,9 +183,13 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         Optional :class:`EventTracer` receiving fine-grained events.
     journal:
         Undo-journal representation: ``"arena"`` (default — tuple
-        opcodes on a reusable :class:`UndoArena`) or ``"closure"`` (the
+        opcodes on a reusable :class:`UndoArena`), ``"closure"`` (the
         original closure-per-entry journal with fresh per-request
-        containers, kept as the rollback-equivalence oracle).
+        containers, kept as the rollback-equivalence oracle), or
+        ``"arena-sanitize"`` (arena plus checking container proxies
+        that raise on unjournaled mutation inside an open scope — the
+        runtime oracle for the static exception-flow rules; also
+        selected by ``REPRO_SANITIZE=1`` in the environment).
     """
 
     _sparse_costing = True
@@ -200,12 +205,19 @@ class AlignedReservationScheduler(ReallocatingScheduler):
                  tracer: EventTracer | NullTracer | None = None,
                  journal: str = "arena") -> None:
         super().__init__(num_machines=1)
-        if journal not in ("arena", "closure"):
+        if journal == "arena" and sanitize_enabled():
+            journal = "arena-sanitize"
+        if journal not in ("arena", "closure", "arena-sanitize"):
             raise ValueError(
-                f"journal must be 'arena' or 'closure', got {journal!r}")
+                "journal must be 'arena', 'closure', or "
+                f"'arena-sanitize', got {journal!r}")
         self.policy = policy
         self.tracer = tracer if tracer is not None else NullTracer()
         self._closure_journal = journal == "closure"
+        #: sanitizer-oracle mode: journaled containers are wrapped in
+        #: checking proxies that raise on unjournaled mutation inside
+        #: an open request/batch scope (see repro.analysis.sanitize)
+        self._sanitize = journal == "arena-sanitize"
         #: reusable journal storage (per-request and per-atomic-batch);
         #: process-local scratch, rebuilt fresh after unpickling
         self._arena = UndoArena()
@@ -234,6 +246,12 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         #: snapshot log while an *atomic* batch is open (replaces the
         #: per-request journal for the duration of the batch)
         self._abatch: _AtomicBatchLog | None = None
+        # Sanitizer proxies must replace the containers BEFORE the
+        # hooks/probes below are built: those closures capture the
+        # container objects by reference, and a later rebind would
+        # split reads (stale plain dicts) from writes (the proxies).
+        if self._sanitize:
+            install_sanitizer(self)
         #: per-level assignment-change hooks handed to intervals
         self._assign_hooks = {
             lv: self._make_assign_hook(lv)
@@ -397,8 +415,11 @@ class AlignedReservationScheduler(ReallocatingScheduler):
 
     @property
     def journal_impl(self) -> str:
-        """The journal representation in use: ``"arena"`` or ``"closure"``."""
-        return "closure" if self._closure_journal else "arena"
+        """The journal representation in use: ``"arena"``,
+        ``"closure"``, or ``"arena-sanitize"`` (checking proxies)."""
+        if self._closure_journal:
+            return "closure"
+        return "arena-sanitize" if self._sanitize else "arena"
 
     def _jdict(self, d: dict, key: Hashable) -> None:
         """Journal the pre-state of ``d[key]`` (first touch per request)."""

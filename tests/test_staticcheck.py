@@ -43,6 +43,8 @@ HOT_RULES = {
     "hot-closures", "hot-comprehensions", "hot-attr-chains",
     "hot-complexity", "hot-allocations",
 }
+STATEFLOW_RULES = {"exception-flow", "state-boundary"}
+STRICT_RULES = CONTRACT_RULES | STATEFLOW_RULES
 
 RESERVATION = "reservation/fixture.py"
 
@@ -64,21 +66,37 @@ def codes(report) -> list[str]:
 # ---------------------------------------------------------------------------
 
 class TestEngine:
-    def test_registry_has_all_ten_families(self):
-        assert set(registered_rules()) == CONTRACT_RULES | HOT_RULES
+    def test_registry_has_all_twelve_families(self):
+        assert set(registered_rules()) == STRICT_RULES | HOT_RULES
 
-    def test_hot_rules_are_ratcheted_and_contract_rules_are_not(self):
+    def test_hot_rules_are_ratcheted_and_strict_rules_are_not(self):
         registry = registered_rules()
         assert {n for n, r in registry.items() if r.ratcheted} == HOT_RULES
 
     def test_default_rule_set_excludes_ratcheted(self):
-        assert {r.name for r in resolve_rules()} == CONTRACT_RULES
+        assert {r.name for r in resolve_rules()} == STRICT_RULES
         assert ({r.name for r in resolve_rules(include_ratcheted=True)}
-                == CONTRACT_RULES | HOT_RULES)
+                == STRICT_RULES | HOT_RULES)
 
     def test_resolve_unknown_rule_raises(self):
         with pytest.raises(KeyError):
             resolve_rules(["no-such-rule"])
+
+    def test_select_narrows_the_resolved_set(self):
+        assert ({r.name for r in resolve_rules(select=["exception-flow"])}
+                == {"exception-flow"})
+        assert ({r.name for r in
+                 resolve_rules(select=["exception-flow", "state-boundary"])}
+                == STATEFLOW_RULES)
+
+    def test_select_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            resolve_rules(select=["no-such-rule"])
+
+    def test_select_composes_with_ratcheted_resolution(self):
+        rules = resolve_rules(include_ratcheted=True,
+                              select=["hot-closures", "determinism"])
+        assert {r.name for r in rules} == {"hot-closures", "determinism"}
 
     def test_scope_of_strips_to_repro_package(self):
         p = Path("src/repro/reservation/interval.py")
@@ -477,6 +495,224 @@ class TestTypingCoverage:
 
 
 # ---------------------------------------------------------------------------
+# exception-flow (EXC001 / EXC002)
+# ---------------------------------------------------------------------------
+#
+# Fixtures are one-file programs: the journal scope seeds from calls
+# declared *in the fixture* (``_journal_acquire``/``_batch_begin``/
+# ``.mark()``), and raise-paths propagate interprocedurally through the
+# fixture's own call graph.
+
+class TestExceptionFlow:
+    def test_mutation_then_raise_before_ack_is_flagged(self):
+        src = """
+        class Interval:
+            def insert(self, window) -> None:
+                self._journal_acquire()
+                self.dynamic_res[window] = 1
+                self._check(window)
+                self._jdict(self.dynamic_res, window)
+
+            def _check(self, window) -> None:
+                if window is None:
+                    raise ValueError("bad window")
+        """
+        report = run(src, only="exception-flow")
+        assert codes(report) == ["EXC001"]
+        assert report.findings[0].context == "Interval.insert"
+
+    def test_ack_before_mutation_passes(self):
+        src = """
+        class Interval:
+            def insert(self, window) -> None:
+                self._journal_acquire()
+                self._jdict(self.dynamic_res, window)
+                self.dynamic_res[window] = 1
+                self._check(window)
+
+            def _check(self, window) -> None:
+                if window is None:
+                    raise ValueError("bad window")
+        """
+        assert codes(run(src, only="exception-flow")) == []
+
+    def test_code_outside_journal_scope_is_not_checked(self):
+        src = """
+        class Interval:
+            def offline_rebuild(self, window) -> None:
+                self.dynamic_res[window] = 1
+                self._check(window)
+
+            def _check(self, window) -> None:
+                if window is None:
+                    raise ValueError("bad window")
+        """
+        # no function opens a journal/batch scope, so the ordering
+        # requirement does not apply (rebuilds journal nothing)
+        assert codes(run(src, only="exception-flow")) == []
+
+    def test_direct_raise_after_mutation_is_flagged(self):
+        src = """
+        class AlignedReservationScheduler:
+            def _apply_insert(self, job, level) -> None:
+                self._journal_acquire()
+                self._job_levels[job] = level
+                if level < 0:
+                    raise ValueError("negative level")
+                self._jdict(self._job_levels, job)
+        """
+        assert codes(run(src, only="exception-flow")) == ["EXC001"]
+
+    def test_handler_truncating_without_replay_is_flagged(self):
+        # the PR 5 journal-carry shape: an except arm that acks/clears
+        # the journal while the failed suffix was never replayed
+        src = """
+        class AlignedReservationScheduler:
+            def apply(self, req) -> None:
+                try:
+                    self._do(req)
+                except ValueError:
+                    self.undo_log.truncate(0)
+        """
+        report = run(src, only="exception-flow")
+        assert codes(report) == ["EXC002"]
+        assert report.findings[0].context == "apply"
+
+    def test_handler_replaying_before_teardown_passes(self):
+        src = """
+        class AlignedReservationScheduler:
+            def apply(self, req) -> None:
+                try:
+                    self._do(req)
+                except ValueError:
+                    self._rollback()
+                    self.undo_log.truncate(0)
+                    raise
+        """
+        assert codes(run(src, only="exception-flow")) == []
+
+
+# ---------------------------------------------------------------------------
+# state-boundary (SER001 / SER002)
+# ---------------------------------------------------------------------------
+
+class TestStateBoundary:
+    def test_dropped_field_never_rebuilt_is_flagged(self):
+        # the PR 4 stale-closure shape, field-precise: __getstate__
+        # drops a hook closure and __setstate__ forgets to rebuild it
+        src = """
+        class AlignedReservationScheduler:
+            def __init__(self, policy) -> None:
+                self.policy = policy
+                self.on_assign = self._make_hook()
+
+            def _make_hook(self):
+                def hook(window, slot):
+                    return (window, slot)
+                return hook
+
+            def __getstate__(self):
+                state = dict(self.__dict__)
+                del state["on_assign"]
+                return state
+
+            def __setstate__(self, state) -> None:
+                self.__dict__.update(state)
+        """
+        report = run(src, only="state-boundary")
+        assert codes(report) == ["SER001"]
+        assert report.findings[0].context == (
+            "AlignedReservationScheduler.__getstate__")
+
+    def test_dropped_field_rebuilt_directly_passes(self):
+        src = """
+        class AlignedReservationScheduler:
+            def __init__(self, policy) -> None:
+                self.policy = policy
+                self.on_assign = self._make_hook()
+
+            def _make_hook(self):
+                def hook(window, slot):
+                    return (window, slot)
+                return hook
+
+            def __getstate__(self):
+                state = dict(self.__dict__)
+                del state["on_assign"]
+                return state
+
+            def __setstate__(self, state) -> None:
+                self.__dict__.update(state)
+                self.on_assign = self._make_hook()
+        """
+        assert codes(run(src, only="state-boundary")) == []
+
+    def test_dropped_field_rebuilt_transitively_passes(self):
+        src = """
+        class AlignedReservationScheduler:
+            def __init__(self, policy) -> None:
+                self.policy = policy
+                self.on_assign = self._make_hook()
+
+            def _make_hook(self):
+                def hook(window, slot):
+                    return (window, slot)
+                return hook
+
+            def _rebuild_hooks(self) -> None:
+                self.on_assign = self._make_hook()
+
+            def __getstate__(self):
+                state = dict(self.__dict__)
+                state.pop("on_assign", None)
+                return state
+
+            def __setstate__(self, state) -> None:
+                self.__dict__.update(state)
+                self._rebuild_hooks()
+        """
+        assert codes(run(src, only="state-boundary")) == []
+
+    def test_coordinator_mutation_without_leaving_process_mode_is_flagged(self):
+        src = """
+        class DelegatingScheduler:
+            def _leave_process_mode(self) -> None:
+                self._shard_pool = None
+
+            def rebalance(self, job) -> None:
+                self.machines[0].insert(job)
+        """
+        report = run(src, "multimachine/fixture.py", only="state-boundary")
+        assert codes(report) == ["SER002"]
+
+    def test_leaving_process_mode_first_passes(self):
+        src = """
+        class DelegatingScheduler:
+            def _leave_process_mode(self) -> None:
+                self._shard_pool = None
+
+            def rebalance(self, job) -> None:
+                self._leave_process_mode()
+                self.machines[0].insert(job)
+        """
+        assert codes(
+            run(src, "multimachine/fixture.py", only="state-boundary")) == []
+
+    def test_process_mode_rule_is_scoped_to_multimachine(self):
+        src = """
+        class DelegatingScheduler:
+            def _leave_process_mode(self) -> None:
+                self._shard_pool = None
+
+            def rebalance(self, job) -> None:
+                self.machines[0].insert(job)
+        """
+        # SER002 models the worker-pool split, which only exists in the
+        # delegation layer
+        assert "SER002" not in codes(run(src, only="state-boundary"))
+
+
+# ---------------------------------------------------------------------------
 # interprocedural hot-path rules (HOT001-003, CPLX001, ALLOC001)
 # ---------------------------------------------------------------------------
 #
@@ -697,6 +933,23 @@ class TestRatchet:
         assert result.stale == ["reservation/fixture.py::HOT003::S.insert"]
         assert result.new == []
 
+    def test_counts_track_new_fixed_unchanged(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(hot_report(), path)
+        clean = check_ratchet(hot_report(), path)
+        assert clean.to_dict()["counts"] == {
+            "new": 0, "fixed": 0, "unchanged": 1}
+        assert "unchanged=1" in clean.to_text()
+        fixed = check_ratchet(hot_report("class S:\n    pass\n"), path)
+        assert fixed.to_dict()["counts"] == {
+            "new": 0, "fixed": 1, "unchanged": 0}
+        assert "fixed=1" in fixed.to_text()
+        write_baseline(hot_report("class S:\n    pass\n"), path)
+        regressed = check_ratchet(hot_report(), path)
+        assert regressed.to_dict()["counts"] == {
+            "new": 1, "fixed": 0, "unchanged": 0}
+        assert "new=1" in regressed.to_text()
+
     def test_fingerprints_survive_line_moves(self, tmp_path):
         path = tmp_path / "baseline.json"
         write_baseline(hot_report(), path)
@@ -779,6 +1032,8 @@ class TestRatchetCli:
                      "--baseline", str(baseline), str(tree)]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["ratchet"]["ok"] is True
+        assert payload["ratchet"]["counts"] == {
+            "new": 0, "fixed": 0, "unchanged": 1}
         assert payload["summary"]["rules_version"] == RULES_VERSION
 
 
@@ -819,11 +1074,37 @@ class TestCli:
         out = capsys.readouterr().out
         assert "hot-closures" in out and "(ratcheted)" in out
 
+    def test_select_runs_only_named_families(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "reservation" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(s: set) -> None:\n"
+                       "    for x in s.union(s):\n        pass\n")
+        # the determinism finding fires under its own family...
+        assert main(["--select", "determinism", str(bad)]) == 1
+        assert "DET001" in capsys.readouterr().out
+        # ...and is invisible when an unrelated family is selected
+        assert main(["--select", "exception-flow", str(bad)]) == 0
+        capsys.readouterr()
+
+    def test_select_unknown_family_exits_two(self, tmp_path, capsys):
+        ok = tmp_path / "repro" / "reservation" / "ok.py"
+        ok.parent.mkdir(parents=True)
+        ok.write_text("X = 1\n")
+        assert main(["--select", "bogus", str(ok)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
     def test_repro_cli_exposes_lint(self):
         from repro.cli import build_parser
 
         args = build_parser().parse_args(["lint", "--strict"])
         assert args.strict and args.func.__name__ == "cmd_lint"
+
+    def test_repro_cli_lint_forwards_select(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["lint", "--select", "exception-flow,state-boundary"])
+        assert args.select == "exception-flow,state-boundary"
 
 
 # ---------------------------------------------------------------------------
@@ -836,6 +1117,11 @@ class TestLiveTree:
         assert report.files_checked > 50
         assert [str(f) for f in report.findings] == []
         assert report.ok(strict=True)
+
+    def test_src_tree_is_clean_under_stateflow_select(self):
+        rules = resolve_rules(select=sorted(STATEFLOW_RULES))
+        report = analyze_paths([DEFAULT_ROOT], rules)
+        assert [str(f) for f in report.findings] == []
 
     def test_src_tree_passes_the_hot_path_ratchet(self):
         """The checked-in baseline exactly matches the live tree.
