@@ -124,10 +124,17 @@ def test_e10c_fastpath_10k(benchmark, record_result, record_json):
     results = {}
 
     def kernel():
-        results["off"] = run_sequence(
-            AlignedReservationScheduler(), seq, verify_each=False)
-        results["incremental"] = run_sequence(
-            AlignedReservationScheduler(), seq, verify_each=True)
+        # best-of-5 per mode: the recorded metric is the run with the
+        # smallest scheduler time, the standard noise-robust estimator
+        # (single-shot numbers on a shared box swing by 20%+)
+        for key, verify in (("off", False), ("incremental", True)):
+            best = None
+            for _ in range(5):
+                res = run_sequence(
+                    AlignedReservationScheduler(), seq, verify_each=verify)
+                if best is None or res.scheduler_time_s < best.scheduler_time_s:
+                    best = res
+            results[key] = best
 
     benchmark.pedantic(kernel, rounds=1, iterations=1)
     off, inc = results["off"], results["incremental"]
@@ -336,7 +343,6 @@ def test_e11b_journal_allocation_diet(benchmark, record_result):
     import tracemalloc
 
     from repro.core.requests import iter_batches
-    from repro.core.window import Window
     from repro.reservation.interval import Interval
     from repro.reservation.journal import OP_ASSIGN
     from repro.sim.report import experiment_header, format_table
@@ -408,12 +414,11 @@ def test_e11b_journal_allocation_diet(benchmark, record_result):
         n = 10_000
         iv = Interval(level=1, index=0, lo=0, hi=64,
                       enclosing_spans=(64, 128))
-        w = Window(0, 64)
         tracemalloc.start()
         base = tracemalloc.take_snapshot()
-        closure_entries = [iv._closure_assign(w, 0, s) for s in range(n)]
+        closure_entries = [iv._closure_assign(0, s) for s in range(n)]
         after_closures = tracemalloc.take_snapshot()
-        tuple_entries = [(OP_ASSIGN, iv, w, 0, s) for s in range(n)]
+        tuple_entries = [(OP_ASSIGN, iv, 0, s) for s in range(n)]
         after_tuples = tracemalloc.take_snapshot()
         tracemalloc.stop()
 

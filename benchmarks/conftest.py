@@ -9,7 +9,9 @@ reproduction broke, not just that numbers drifted.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import warnings
 
 import pytest
 
@@ -47,6 +49,11 @@ def record_json(results_dir):
     that top-level key and other sections are preserved, so a
     parametrized bench (per scenario, per machine count) accumulates
     one artifact across its parametrizations.
+
+    Writes are atomic (temp file + ``os.replace``) so an interrupted
+    bench run can never leave a truncated artifact behind, and a
+    corrupt existing artifact is warned about and treated as empty
+    rather than crashing the bench that would repair it.
     """
 
     def _record(name: str, payload: dict, *, section: str | None = None) -> None:
@@ -54,10 +61,20 @@ def record_json(results_dir):
         if section is not None:
             merged: dict = {}
             if path.exists():
-                merged = json.loads(path.read_text())
+                try:
+                    merged = json.loads(path.read_text())
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    warnings.warn(
+                        f"existing bench artifact {path} is corrupt "
+                        f"({exc}); overwriting with a fresh one",
+                        stacklevel=2,
+                    )
+                    merged = {}
             merged[section] = payload
             payload = merged
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
         print(f"\n[perf trajectory written to {path}]")
 
     return _record

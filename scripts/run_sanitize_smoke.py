@@ -19,8 +19,9 @@ A third, non-vacuity probe deletes a journal ack at runtime (no-op
 passes because the oracle is dead fails here instead.
 
 Writes a JSON summary (``--out``, default
-``sanitize_smoke_report.json``) for the CI artifact. Exit 0 clean,
-1 on any divergence, missed report, or vacuous oracle.
+``benchmarks/results/sanitize_smoke_report.json`` — gitignored) for
+the CI artifact. Exit 0 clean, 1 on any divergence, missed report, or
+vacuous oracle.
 """
 
 from __future__ import annotations
@@ -114,8 +115,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--requests", type=int, default=120,
                         help="churn length per case (default: 120)")
     parser.add_argument("--out", type=Path,
-                        default=REPO / "sanitize_smoke_report.json",
-                        help="JSON summary path for the CI artifact")
+                        default=REPO / "benchmarks" / "results"
+                        / "sanitize_smoke_report.json",
+                        help="JSON summary path for the CI artifact "
+                             "(defaults into benchmarks/results/, which is "
+                             "gitignored except for committed BENCH_*.json)")
     args = parser.parse_args(argv)
 
     summary: dict[str, Any] = {
@@ -158,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print("non-vacuity probe: injected fault reported")
 
+    args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(summary, indent=2, default=repr) + "\n")
     print(f"summary written to {args.out}")
     if summary["ok"]:

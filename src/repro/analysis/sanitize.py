@@ -125,9 +125,19 @@ class SanitizedDict(dict):
         if getattr(owner, "_journal", None) is not None:
             if (id(self), key) in owner._jseen:
                 return
+            # Placement-map diet: the failed-request rollback rewinds
+            # the three placement maps from the *live* touched log (not
+            # the batch-level one — that only rewinds on batch abort),
+            # so live-touched coverage is as good as a journal entry
+            # for the job/slot kinds.
+            if self._kind in ("job", "slot") and job_id is not None:
+                touched = getattr(owner, "_touched", None)
+                if touched is not None and job_id in touched:
+                    return
             self._report(
                 key, "the per-request journal holds no first-touch "
-                     "token for this key")
+                     "token for this key and the live touched log does "
+                     "not cover it")
             return
         abatch = getattr(owner, "_abatch", None)
         if abatch is None or not abatch.track:

@@ -188,9 +188,16 @@ class JournalContract:
     exempt: tuple[str, ...]
 
 
-#: interval containers whose every mutation must append an undo entry
+#: interval containers whose every mutation must append an undo entry.
+#: The first four are the legacy dict/set names (now derived read-only
+#: properties, kept so mutations through an old-style alias still
+#: flag); the underscore names are the flattened slot-indexed arrays
+#: that replaced them. Deliberately absent: ``_dyn_total``, ``_counts``,
+#: ``_tlist``, ``_free``, ``_ws`` — derived caches maintained by
+#: journal-free ``_note_*``/``_free_*`` helpers and rebuilt on abort.
 INTERVAL_ATTRS = frozenset({
     "lower_occupied", "dynamic_res", "assigned", "slot_owner",
+    "_lower", "_n_lower", "_dyn", "_owner", "_aslots",
 })
 
 #: scheduler-side journaled containers: placement maps, job levels,
@@ -211,7 +218,9 @@ COMMON_EXEMPT = (
 JOURNAL_CONTRACTS: dict[str, JournalContract] = {
     "Interval": JournalContract(
         attrs=INTERVAL_ATTRS,
-        exempt=COMMON_EXEMPT + ("_swap_raw",),
+        # seed_lower is pre-publication setup on a fresh interval (no
+        # journal scope can observe it yet), like __init__
+        exempt=COMMON_EXEMPT + ("_swap_raw", "seed_lower"),
     ),
     "AlignedReservationScheduler": JournalContract(
         attrs=SCHEDULER_ATTRS,
@@ -276,8 +285,8 @@ class JournalCoverageRule(Rule):
 
 #: attributes that hold (or may hold) sets on the equivalence path
 SET_HINT_ATTRS = frozenset({"jobs", "lower_occupied"})
-#: dict-valued attributes whose *values* are sets
-SET_VALUED_DICT_ATTRS = frozenset({"assigned"})
+#: dict- or list-valued attributes whose *elements* are sets
+SET_VALUED_DICT_ATTRS = frozenset({"assigned", "_aslots"})
 #: set-returning method names (on any receiver)
 SET_METHODS = frozenset({
     "union", "intersection", "difference", "symmetric_difference",

@@ -48,6 +48,11 @@ class Window:
 
     release: int
     deadline: int
+    # Precomputed hash and span: windows key every reservation-level
+    # table and span feeds the ladder-position arithmetic, so both are
+    # hot (bench E10c) and the endpoints are frozen anyway.
+    _hash: int = None  # type: ignore[assignment]
+    span: int = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if not isinstance(self.release, int) or not isinstance(self.deadline, int):
@@ -56,15 +61,21 @@ class Window:
             raise ValueError(
                 f"window must satisfy deadline > release, got [{self.release}, {self.deadline})"
             )
+        object.__setattr__(self, "_hash", hash((self.release, self.deadline)))
+        object.__setattr__(self, "span", self.deadline - self.release)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Window:
+            return NotImplemented
+        return (self.release == other.release
+                and self.deadline == other.deadline)
 
     # ------------------------------------------------------------------
     # basic geometry
     # ------------------------------------------------------------------
-    @property
-    def span(self) -> int:
-        """Number of admissible slots (= deadline - release)."""
-        return self.deadline - self.release
-
     def __contains__(self, slot: int) -> bool:
         return self.release <= slot < self.deadline
 

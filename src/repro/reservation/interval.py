@@ -3,13 +3,13 @@
 An :class:`Interval` is one aligned block of ``L_l`` slots at reservation
 level ``l``. It tracks:
 
-- ``lower_occupied`` — slots currently holding jobs of level < l. The
-  complement within the interval is the paper's *allowance*.
-- ``dynamic_res`` — dynamic reservation counts per enclosing window
-  (2 per job, round-robin); the *baseline* reservation (1 per enclosing
-  window, always present) is added implicitly by :meth:`demands`.
-- ``assigned`` / ``slot_owner`` — which allowance slots currently back
-  fulfilled reservations of which window.
+- the *allowance* — which of its slots currently hold jobs of level < l
+  (the paper's lower-occupied set; the complement is the allowance);
+- *dynamic reservations* per enclosing window (2 per job, round-robin);
+  the *baseline* reservation (1 per enclosing window, always present)
+  is added implicitly by :meth:`demands`;
+- the *assignment* — which allowance slots currently back fulfilled
+  reservations of which window.
 
 Which reservations are fulfilled is a pure function of the demand
 multiset and the allowance size (:meth:`target_fulfilled`): sort
@@ -18,37 +18,51 @@ enclosing windows shortest-span first (ties by start) and grant greedily
 assignment with the target after any change, returning the level-l jobs
 whose backing slot was revoked (the scheduler then MOVEs them).
 
-Fast path (engine-scale runs). The enclosing windows of an interval form
-a fixed tuple (one window per legal span), so demand, assignment counts,
-and the fulfillment target are all kept *positionally* — plain int lists
-indexed by span position — avoiding a Window hash per lookup on the hot
-path; the Window-keyed dicts remain the public API and stay in sync. The
-target list is *memoized* and explicitly invalidated by every mutation
-that can change it (:meth:`add_dynamic`, :meth:`slot_lowered`,
-:meth:`slot_raised`, :meth:`swap_slots`) — safe because the target is a
-pure function of demand and allowance (Observation 7), so the memo is
-bitwise-identical to a recomputation until one of those inputs changes;
-:meth:`compute_target_fresh` recomputes from scratch and is the oracle
-the property tests compare against. A sorted index of *free* allowance
-slots (backing nothing) lets :meth:`rebalance` top up fulfillments
-without scanning the ``L_l`` slot range, and rebalance exits O(1)-early
-when nothing changed since the last reconciliation. The optional
-``on_assign`` / ``on_release`` hooks notify the owning scheduler of
-assignment changes so it can maintain per-window backed-slot indexes,
-and when ``undo_log`` is set every mutation appends its exact inverse —
-the scheduler's failed-request rollback journal. Journal entries are
-tuple opcodes (one allocation each, dispatched by
-:func:`~repro.reservation.journal.replay_entries`); setting
+Flattened hot state (engine-scale runs). The enclosing windows of an
+interval form a fixed tuple (one per legal span), and its slots a fixed
+``[lo, hi)`` block — so *all* hot state is positional, no Window or slot
+hashing anywhere on the mutation path:
+
+- ``_lower`` — a ``bytearray`` over the slot block (1 = lower-occupied),
+  with ``_n_lower`` tracking its popcount (allowance size in O(1));
+- ``_dyn`` / ``_counts`` — dynamic-reservation and assigned-slot counts
+  per ladder position, with ``_dyn_total`` the running demand sum;
+- ``_aslots`` — the assigned slot set per ladder position, and
+  ``_owner`` — the inverse map as a per-slot position array (-1 free);
+- ``_ws`` — the owning scheduler's per-position
+  :class:`~repro.reservation.window_state.WindowState` cache, so the
+  assignment hooks hand the scheduler the state object directly instead
+  of a Window to hash-look-up.
+
+The legacy Window-keyed mappings (``lower_occupied``, ``dynamic_res``,
+``assigned``, ``slot_owner``) survive as derived read-only properties —
+the validation layer cross-checks them against the flattened forms.
+
+The fulfillment target is *memoized* (``_tlist`` / ``_tvalid``) and
+maintained incrementally where the slack structure allows: whenever the
+allowance covers every demand (``allowance >= n_positions + _dyn_total``)
+the target is exactly ``1 + dyn`` per position, so a dynamic delta
+adjusts one entry and pure allowance changes leave it untouched; outside
+slack the memo is invalidated and :meth:`_target_list` recomputes.
+:meth:`compute_target_fresh` recomputes from the derived mappings and is
+the oracle the property tests compare against. A sorted index of *free*
+allowance slots (backing nothing) lets :meth:`rebalance` top up
+fulfillments without scanning the ``L_l`` slot range, and rebalance
+exits O(1)-early when nothing changed since the last reconciliation.
+
+When ``undo_log`` is set every mutation appends its exact inverse — the
+scheduler's failed-request rollback journal. Journal entries are tuple
+opcodes addressing state positionally (one allocation each, dispatched
+by :func:`~repro.reservation.journal.replay_entries`); setting
 ``closure_undo`` switches an interval to the original closure-per-entry
 representation, kept as the rollback-equivalence oracle (the
-``_closure_*`` helpers are the pre-arena implementation verbatim,
-out-of-line so the hot path pays no cell-variable setup for them).
+``_closure_*`` helpers are out-of-line so the hot path pays no
+cell-variable setup for them).
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core.job import JobId
@@ -63,46 +77,70 @@ from .journal import (
 )
 
 
-@dataclass
 class Interval:
     """One level-l interval (an aligned ``L_l``-slot block)."""
 
-    level: int
-    index: int
-    lo: int
-    hi: int
-    #: legal level-l window spans (from the policy), smallest first
-    enclosing_spans: tuple[int, ...]
-    lower_occupied: set[int] = field(default_factory=set)
-    dynamic_res: dict[Window, int] = field(default_factory=dict)
-    assigned: dict[Window, set[int]] = field(default_factory=dict)
-    slot_owner: dict[int, Window] = field(default_factory=dict)
-    #: scheduler hooks fired on every assignment change (slot gained /
-    #: lost by a window); None outside a scheduler (unit tests).
-    on_assign: Callable[[Window, int], None] | None = field(
-        default=None, repr=False, compare=False)
-    on_release: Callable[[Window, int], None] | None = field(
-        default=None, repr=False, compare=False)
-    #: when set (by the scheduler, per request), every mutation appends
-    #: its inverse here — replayed in reverse to roll back a failed request
-    undo_log: list | None = field(default=None, repr=False, compare=False)
-    #: True switches undo entries from tuple opcodes to the original
-    #: per-mutation closures (the journal-equivalence test oracle)
-    closure_undo: bool = field(default=False, repr=False, compare=False)
-    #: cached enclosing-window tuple (immutable geometry, lazily built)
-    _windows: tuple[Window, ...] | None = field(
-        default=None, repr=False, compare=False)
-    #: positional dynamic counts (index = span position); lazily built
-    _dyn: list[int] | None = field(default=None, repr=False, compare=False)
-    #: positional assigned-slot counts; lazily built
-    _counts: list[int] | None = field(default=None, repr=False, compare=False)
-    #: memoized positional fulfillment target; None = invalidated
-    _tlist: list[int] | None = field(default=None, repr=False, compare=False)
-    #: sorted free allowance slots (in allowance, no owner); None = lazily built
-    _free: list[int] | None = field(default=None, repr=False, compare=False)
-    #: True when a mutation since the last rebalance may have unbalanced
-    #: the assignment (fresh intervals start unreconciled)
-    _stale: bool = field(default=True, repr=False, compare=False)
+    def __init__(self, *, level: int, index: int, lo: int, hi: int,
+                 enclosing_spans: tuple[int, ...],
+                 on_assign: Callable | None = None,
+                 on_release: Callable | None = None,
+                 undo_log: list | None = None,
+                 closure_undo: bool = False) -> None:
+        self.level = level
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        #: legal level-l window spans (from the policy), smallest first
+        self.enclosing_spans = enclosing_spans
+        #: bit length of the smallest enclosing span (ladder-position
+        #: arithmetic base, hoisted out of the hot ``_pos`` lookup)
+        self._span_bits0 = enclosing_spans[0].bit_length()
+        #: scheduler hooks fired on every assignment change (slot gained /
+        #: lost by a window state); None outside a scheduler (unit tests)
+        self.on_assign = on_assign
+        self.on_release = on_release
+        #: when set (by the scheduler, per request), every mutation appends
+        #: its inverse here — replayed in reverse to roll back a failure
+        self.undo_log = undo_log
+        #: True switches undo entries from tuple opcodes to the original
+        #: per-mutation closures (the journal-equivalence test oracle)
+        self.closure_undo = closure_undo
+        span = hi - lo
+        npos = len(enclosing_spans)
+        #: enclosing-window tuple, one per ladder position (immutable)
+        self._windows: tuple[Window, ...] = tuple(
+            aligned_window_covering(lo, s) for s in enclosing_spans
+        )
+        #: per-slot lower-occupied bits (index = slot - lo)
+        self._lower = bytearray(span)
+        #: popcount of ``_lower`` (allowance size = span - _n_lower)
+        self._n_lower = 0
+        #: dynamic reservation count per ladder position
+        self._dyn = [0] * npos
+        #: running sum of ``_dyn`` (slack test input)
+        self._dyn_total = 0
+        #: assigned slot set per ladder position
+        self._aslots: list[set[int]] = [set() for _ in range(npos)]
+        #: assigned slot count per ladder position (len of _aslots entry)
+        self._counts = [0] * npos
+        #: per-slot owner ladder position (-1 = unowned; index = slot - lo)
+        self._owner = [-1] * span
+        #: owning scheduler's WindowState per ladder position (None when
+        #: the window is inactive); maintained by the scheduler
+        self._ws: list[object | None] = [None] * npos
+        #: sorted free allowance slots (in allowance, backing nothing)
+        self._free = list(range(lo, hi))
+        #: memoized positional fulfillment target + validity flag
+        self._tlist = [0] * npos
+        self._tvalid = False
+        #: ladder positions whose counts may diverge from the target
+        #: since the last rebalance; ``_dirty_all`` widens the next
+        #: reconciliation to every position (target memo invalidated)
+        self._dirty: set[int] = set()
+        self._dirty_all = True
+        #: True when a mutation since the last rebalance may have
+        #: unbalanced the assignment (fresh intervals start unreconciled)
+        self._stale = True
 
     # ------------------------------------------------------------------
     # serialization (worker-resident schedulers cross a process boundary)
@@ -110,10 +148,13 @@ class Interval:
     def __getstate__(self) -> dict:
         """Picklable state: everything but the scheduler-owned callables.
 
-        ``on_assign`` / ``on_release`` are closures over the owning
+        ``on_assign`` / ``on_release`` are bound methods of the owning
         scheduler and ``undo_log`` is only ever set inside a request, so
         all three are dropped; the scheduler's own ``__setstate__``
-        re-attaches its hooks to every interval it restores.
+        re-attaches its hooks to every interval it restores. The ``_ws``
+        cache rides along — its WindowState objects are shared with the
+        scheduler's own tables, so pickling the scheduler graph
+        preserves the identity.
         """
         state = self.__dict__.copy()
         state["on_assign"] = None
@@ -131,43 +172,46 @@ class Interval:
     def slots(self) -> range:
         return range(self.lo, self.hi)
 
-    def _enclosing(self) -> tuple[Window, ...]:
-        ws = self._windows
-        if ws is None:
-            ws = self._windows = tuple(
-                aligned_window_covering(self.lo, s) for s in self.enclosing_spans
-            )
-        return ws
-
     def enclosing_windows(self) -> list[Window]:
         """All legal level-l windows containing this interval, shortest first."""
-        return list(self._enclosing())
+        return list(self._windows)
 
     def _pos(self, window: Window) -> int:
         """Position of an enclosing window in the span ladder (no hashing)."""
-        return window.span.bit_length() - self.enclosing_spans[0].bit_length()
+        return window.span.bit_length() - self._span_bits0
 
     def allowance_size(self) -> int:
-        return self.span - len(self.lower_occupied)
+        return self.span - self._n_lower
 
     def in_allowance(self, slot: int) -> bool:
-        return self.lo <= slot < self.hi and slot not in self.lower_occupied
+        return self.lo <= slot < self.hi and not self._lower[slot - self.lo]
 
-    def _dyn_list(self) -> list[int]:
-        dyn = self._dyn
-        if dyn is None:
-            get = self.dynamic_res.get
-            dyn = self._dyn = [get(w, 0) for w in self._enclosing()]
-        return dyn
+    # ------------------------------------------------------------------
+    # derived Window-keyed views (validation / test surface; the hot
+    # path never builds these)
+    # ------------------------------------------------------------------
+    @property
+    def lower_occupied(self) -> set[int]:
+        """Slots currently holding jobs of level < l (derived view)."""
+        lo = self.lo
+        return {lo + i for i, b in enumerate(self._lower) if b}
 
-    def _counts_list(self) -> list[int]:
-        counts = self._counts
-        if counts is None:
-            assigned = self.assigned
-            counts = self._counts = [
-                len(assigned.get(w, ())) for w in self._enclosing()
-            ]
-        return counts
+    @property
+    def dynamic_res(self) -> dict[Window, int]:
+        """Dynamic reservation count per enclosing window (derived view)."""
+        return {w: d for w, d in zip(self._windows, self._dyn) if d}
+
+    @property
+    def assigned(self) -> dict[Window, set[int]]:
+        """Assigned slot set per enclosing window (derived view)."""
+        return {w: set(s) for w, s in zip(self._windows, self._aslots) if s}
+
+    @property
+    def slot_owner(self) -> dict[int, Window]:
+        """slot -> owning window for every assigned slot (derived view)."""
+        lo = self.lo
+        windows = self._windows
+        return {lo + i: windows[p] for i, p in enumerate(self._owner) if p >= 0}
 
     def demands(self) -> list[tuple[Window, int]]:
         """(window, demand) for every enclosing window, priority order.
@@ -180,18 +224,17 @@ class Interval:
         # enclosing windows are already shortest-first; starts are unique
         # per span (one window per span covers this interval), so the
         # span order is a total priority order.
-        return [(w, 1 + d) for w, d in zip(self._enclosing(), self._dyn_list())]
+        return [(w, 1 + d) for w, d in zip(self._windows, self._dyn)]
 
+    # ------------------------------------------------------------------
+    # fulfillment target (memoized, incrementally maintained under slack)
+    # ------------------------------------------------------------------
     def _target_list(self) -> list[int]:
-        target = self._tlist
-        if target is None:
-            target = self._tlist = self._compute_target_list()
-        return target
-
-    def _compute_target_list(self) -> list[int]:
-        remaining = self.allowance_size()
+        if self._tvalid:
+            return self._tlist
+        remaining = self.span - self._n_lower
         out = []
-        for d in self._dyn_list():
+        for d in self._dyn:
             if remaining <= 0:
                 out.append(0)
                 continue
@@ -200,6 +243,8 @@ class Interval:
                 take = remaining
             out.append(take)
             remaining -= take
+        self._tlist = out
+        self._tvalid = True
         return out
 
     def target_fulfilled(self) -> dict[Window, int]:
@@ -207,22 +252,23 @@ class Interval:
 
         Greedy by priority: each window receives
         ``min(demand, remaining allowance)``. Served from the memoized
-        positional target (invalidated on every demand or allowance
-        mutation); :meth:`compute_target_fresh` is the uncached oracle.
+        positional target; :meth:`compute_target_fresh` is the uncached
+        oracle.
         """
-        return dict(zip(self._enclosing(), self._target_list()))
+        return dict(zip(self._windows, self._target_list()))
 
     def compute_target_fresh(self) -> dict[Window, int]:
         """Recompute the fulfillment target from scratch (no memo).
 
         The history-independence guard: the property tests assert this
         always equals :meth:`target_fulfilled` under arbitrary
-        insert/delete interleavings.
+        insert/delete interleavings. Reads through the derived
+        Window-keyed views, so it also cross-checks the flattened state.
         """
         remaining = self.allowance_size()
         get = self.dynamic_res.get
         target: dict[Window, int] = {}
-        for w in self._enclosing():
+        for w in self._windows:
             take = min(1 + get(w, 0), remaining)
             target[w] = take
             remaining -= take
@@ -233,8 +279,32 @@ class Interval:
         target = self.target_fulfilled()
         return {w: d - target[w] for w, d in self.demands()}
 
-    def _invalidate(self) -> None:
-        self._tlist = None
+    def _note_allowance_shrunk(self, had_owner: bool) -> None:
+        """Maintain the memo after a slot left the allowance."""
+        slack = (self.span - self._n_lower
+                 >= len(self._dyn) + self._dyn_total)
+        if had_owner:
+            # an assignment was revoked: counts diverge from the target
+            # (the caller marks the revoked position dirty)
+            self._stale = True
+            if not slack:
+                self._tvalid = False
+                self._dirty_all = True
+        elif not (self._tvalid and slack):
+            # outside slack the tail targets shift with the allowance
+            self._tvalid = False
+            self._dirty_all = True
+            self._stale = True
+        # a free slot lowered under slack changes neither the target nor
+        # the counts — no rebalance needed
+
+    def _note_allowance_grown(self) -> None:
+        """Maintain the memo *before* a slot rejoins the allowance."""
+        if (self._tvalid and self.span - self._n_lower
+                >= len(self._dyn) + self._dyn_total):
+            return  # full demand already met; growth changes nothing
+        self._tvalid = False
+        self._dirty_all = True
         self._stale = True
 
     # ------------------------------------------------------------------
@@ -245,133 +315,130 @@ class Interval:
 
         Maintained incrementally; treat as read-only.
         """
-        free = self._free
-        if free is None:
-            low = self.lower_occupied
-            owned = self.slot_owner
-            free = self._free = [
-                s for s in self.slots() if s not in low and s not in owned
-            ]
-        return free
+        return self._free
 
     def _free_add(self, slot: int) -> None:
-        if self._free is not None:
-            insort(self._free, slot)
+        insort(self._free, slot)
 
     def _free_discard(self, slot: int) -> None:
         free = self._free
-        if free is not None:
-            i = bisect_left(free, slot)
-            if i < len(free) and free[i] == slot:
-                del free[i]
+        i = bisect_left(free, slot)
+        if i < len(free) and free[i] == slot:
+            del free[i]
 
     # ------------------------------------------------------------------
     # reservation mutation (dynamic part only)
     # ------------------------------------------------------------------
     def add_dynamic(self, window: Window, delta: int) -> None:
         """Adjust dynamic reservation count for a window by +/- delta."""
-        new = self.dynamic_res.get(window, 0) + delta
+        # position lookup and validation first: nothing may raise between
+        # the container mutation and the undo append (rollback would
+        # miss the mutation)
+        pos = window.span.bit_length() - self._span_bits0
+        dyn = self._dyn
+        new = dyn[pos] + delta
         if new < 0:
             raise ValueError(
                 f"dynamic reservations for {window} would go negative at "
                 f"interval {self.index} (level {self.level})"
             )
-        # position lookup first: it is the only raise-capable step, and
-        # it must not fire between the container mutation and the undo
-        # append (rollback would miss the mutation)
-        if self._dyn is not None:
-            self._dyn[self._pos(window)] += delta
-        if new:
-            self.dynamic_res[window] = new
-        else:
-            self.dynamic_res.pop(window, None)
-        self._invalidate()
+        dyn[pos] = new
         log = self.undo_log
         if log is not None:
-            log.append(self._closure_dynamic(window, delta)
+            log.append(self._closure_dynamic(pos, delta)
                        if self.closure_undo
-                       else (OP_DYNAMIC, self, window, delta))
-
-    def _closure_dynamic(self, window: Window, delta: int) -> Callable[[], None]:
-        return lambda: self._undo_dynamic(window, delta)
-
-    def _undo_dynamic(self, window: Window, delta: int) -> None:
-        new = self.dynamic_res.get(window, 0) - delta
-        if new:
-            self.dynamic_res[window] = new
+                       else (OP_DYNAMIC, self, pos, delta))
+        # memo maintenance, inlined from the former _note_dyn_changed
+        # (this is the single hottest interval mutation): under slack
+        # (allowance covers every demand, before and after) the target
+        # is exactly ``1 + dyn`` per position, so the memo adjusts in
+        # place; otherwise it is invalidated.
+        old_total = self._dyn_total
+        new_total = old_total + delta
+        self._dyn_total = new_total
+        if self._tvalid:
+            worst = old_total if old_total > new_total else new_total
+            if self.span - self._n_lower >= len(dyn) + worst:
+                self._tlist[pos] += delta
+                self._dirty.add(pos)
+            else:
+                self._tvalid = False
+                self._dirty_all = True
         else:
-            self.dynamic_res.pop(window, None)
-        if self._dyn is not None:
-            self._dyn[self._pos(window)] -= delta
-        self._invalidate()
+            self._dirty_all = True
+        self._stale = True
+
+    def _closure_dynamic(self, pos: int, delta: int) -> Callable[[], None]:
+        return lambda: self._undo_dynamic(pos, delta)
+
+    def _undo_dynamic(self, pos: int, delta: int) -> None:
+        self._dyn[pos] -= delta
+        self._dyn_total -= delta
+        self._tvalid = False
+        self._dirty_all = True
+        self._stale = True
 
     # ------------------------------------------------------------------
-    # assignment primitives (keep dicts, counts, free index, hooks, undo
+    # assignment primitives (keep slots, counts, free index, hooks, undo
     # log consistent in one place)
     # ------------------------------------------------------------------
-    def _do_assign(self, window: Window, pos: int, slot: int) -> None:
-        have = self.assigned.get(window)
-        if have is None:
-            have = self.assigned[window] = set()
-        have.add(slot)
-        self.slot_owner[slot] = window
+    def _do_assign(self, pos: int, slot: int) -> None:
+        self._aslots[pos].add(slot)
+        self._owner[slot - self.lo] = pos
+        self._counts[pos] += 1
         self._free_discard(slot)
-        if self._counts is not None:
-            self._counts[pos] += 1
         # undo entry before the hook: the scheduler-side hook can raise
         # (underallocation checks), and a raise between the mutation and
         # the append would leave the assign invisible to rollback
         log = self.undo_log
         if log is not None:
-            log.append(self._closure_assign(window, pos, slot)
+            log.append(self._closure_assign(pos, slot)
                        if self.closure_undo
-                       else (OP_ASSIGN, self, window, pos, slot))
-        if self.on_assign is not None:
-            self.on_assign(window, slot)
+                       else (OP_ASSIGN, self, pos, slot))
+        on_assign = self.on_assign
+        if on_assign is not None:
+            ws = self._ws[pos]
+            if ws is not None:
+                on_assign(ws, slot)
 
-    def _closure_assign(self, window: Window, pos: int, slot: int) -> Callable[[], None]:
-        return lambda: self._undo_assign(window, pos, slot)
+    def _closure_assign(self, pos: int, slot: int) -> Callable[[], None]:
+        return lambda: self._undo_assign(pos, slot)
 
-    def _undo_assign(self, window: Window, pos: int, slot: int) -> None:
-        have = self.assigned.get(window)
-        if have is not None:
-            have.discard(slot)
-            if not have:
-                del self.assigned[window]
-        self.slot_owner.pop(slot, None)
+    def _undo_assign(self, pos: int, slot: int) -> None:
+        self._aslots[pos].discard(slot)
+        self._owner[slot - self.lo] = -1
+        self._counts[pos] -= 1
         self._free_add(slot)
-        if self._counts is not None:
-            self._counts[pos] -= 1
+        self._dirty.add(pos)
         self._stale = True
 
-    def _do_release(self, window: Window, pos: int, slot: int) -> None:
-        have = self.assigned[window]
-        have.discard(slot)
-        if not have:
-            del self.assigned[window]
-        del self.slot_owner[slot]
+    def _do_release(self, pos: int, slot: int) -> None:
+        self._aslots[pos].discard(slot)
+        self._owner[slot - self.lo] = -1
+        self._counts[pos] -= 1
         self._free_add(slot)
-        if self._counts is not None:
-            self._counts[pos] -= 1
         # undo entry before the hook, same ordering contract as
         # _do_assign: a raising hook must find the release journaled
         log = self.undo_log
         if log is not None:
-            log.append(self._closure_release(window, pos, slot)
+            log.append(self._closure_release(pos, slot)
                        if self.closure_undo
-                       else (OP_RELEASE, self, window, pos, slot))
-        if self.on_release is not None:
-            self.on_release(window, slot)
+                       else (OP_RELEASE, self, pos, slot))
+        on_release = self.on_release
+        if on_release is not None:
+            ws = self._ws[pos]
+            if ws is not None:
+                on_release(ws, slot)
 
-    def _closure_release(self, window: Window, pos: int, slot: int) -> Callable[[], None]:
-        return lambda: self._undo_release(window, pos, slot)
+    def _closure_release(self, pos: int, slot: int) -> Callable[[], None]:
+        return lambda: self._undo_release(pos, slot)
 
-    def _undo_release(self, window: Window, pos: int, slot: int) -> None:
-        self.assigned.setdefault(window, set()).add(slot)
-        self.slot_owner[slot] = window
+    def _undo_release(self, pos: int, slot: int) -> None:
+        self._aslots[pos].add(slot)
+        self._owner[slot - self.lo] = pos
+        self._counts[pos] += 1
         self._free_discard(slot)
-        if self._counts is not None:
-            self._counts[pos] += 1
+        self._dirty.add(pos)
         self._stale = True
 
     # ------------------------------------------------------------------
@@ -385,53 +452,61 @@ class Interval:
         """
         if not self.lo <= slot < self.hi:
             raise ValueError(f"slot {slot} outside interval [{self.lo},{self.hi})")
-        if slot in self.lower_occupied:
+        i = slot - self.lo
+        if self._lower[i]:
             return
-        # raise-capable position lookup before any mutation, and the
-        # undo entry before the hook: a raise between mutating and
-        # appending would leave the revocation invisible to rollback
-        owner = self.slot_owner.get(slot)
-        if owner is not None and self._counts is not None:
-            self._counts[self._pos(owner)] -= 1
-        self.lower_occupied.add(slot)
-        if owner is not None:
-            del self.slot_owner[slot]
-            have = self.assigned[owner]
-            have.discard(slot)
-            if not have:
-                del self.assigned[owner]
+        opos = self._owner[i]
+        self._lower[i] = 1
+        self._n_lower += 1
+        if opos >= 0:
+            self._owner[i] = -1
+            self._aslots[opos].discard(slot)
+            self._counts[opos] -= 1
+            self._dirty.add(opos)
         else:
             self._free_discard(slot)
-        self._invalidate()
         log = self.undo_log
         if log is not None:
-            log.append(self._closure_slot_lowered(slot, owner)
+            log.append(self._closure_slot_lowered(slot, opos)
                        if self.closure_undo
-                       else (OP_LOWERED, self, slot, owner))
-        if owner is not None and self.on_release is not None:
-            self.on_release(owner, slot)
+                       else (OP_LOWERED, self, slot, opos))
+        self._note_allowance_shrunk(opos >= 0)
+        on_release = self.on_release
+        if opos >= 0 and on_release is not None:
+            ws = self._ws[opos]
+            if ws is not None:
+                on_release(ws, slot)
 
-    def _closure_slot_lowered(self, slot: int, owner: Window | None) -> Callable[[], None]:
-        return lambda: self._undo_slot_lowered(slot, owner)
+    def _closure_slot_lowered(self, slot: int, opos: int) -> Callable[[], None]:
+        return lambda: self._undo_slot_lowered(slot, opos)
 
-    def _undo_slot_lowered(self, slot: int, owner: Window | None) -> None:
-        self.lower_occupied.discard(slot)
-        if owner is not None:
-            self.assigned.setdefault(owner, set()).add(slot)
-            self.slot_owner[slot] = owner
-            if self._counts is not None:
-                self._counts[self._pos(owner)] += 1
+    def _undo_slot_lowered(self, slot: int, opos: int) -> None:
+        i = slot - self.lo
+        self._lower[i] = 0
+        self._n_lower -= 1
+        if opos >= 0:
+            self._aslots[opos].add(slot)
+            self._owner[i] = opos
+            self._counts[opos] += 1
         else:
             self._free_add(slot)
-        self._invalidate()
+        self._tvalid = False
+        self._dirty_all = True
+        self._stale = True
 
     def slot_raised(self, slot: int) -> None:
         """The lower-level occupant of ``slot`` left (slot rejoins allowance)."""
-        if slot not in self.lower_occupied:
+        if not self.lo <= slot < self.hi:
             return
-        self.lower_occupied.discard(slot)
+        i = slot - self.lo
+        if not self._lower[i]:
+            return
+        # memo bookkeeping reads the pre-growth allowance, so it runs
+        # first (it mutates nothing the undo entry must cover)
+        self._note_allowance_grown()
+        self._lower[i] = 0
+        self._n_lower -= 1
         self._free_add(slot)
-        self._invalidate()
         log = self.undo_log
         if log is not None:
             log.append(self._closure_slot_raised(slot)
@@ -442,9 +517,39 @@ class Interval:
         return lambda: self._undo_slot_raised(slot)
 
     def _undo_slot_raised(self, slot: int) -> None:
-        self.lower_occupied.add(slot)
+        self._lower[slot - self.lo] = 1
+        self._n_lower += 1
         self._free_discard(slot)
-        self._invalidate()
+        self._tvalid = False
+        self._dirty_all = True
+        self._stale = True
+
+    # ------------------------------------------------------------------
+    # materialization seeding
+    # ------------------------------------------------------------------
+    def seed_lower(self, slots: list[int]) -> None:
+        """Seed lower-occupied membership at materialization time.
+
+        Exempt from per-mutation journaling: the scheduler journals the
+        materialization wholesale (an ``OP_POP`` dropping the interval
+        from its table), so rollback discards the object rather than
+        unwinding the seed.
+        """
+        lower = self._lower
+        lo = self.lo
+        added = 0
+        for s in slots:
+            i = s - lo
+            if not lower[i]:
+                lower[i] = 1
+                added += 1
+        self._n_lower += added
+        owner = self._owner
+        self._free = [s for s in range(lo, self.hi)
+                      if not lower[s - lo] and owner[s - lo] < 0]
+        self._tvalid = False
+        self._dirty_all = True
+        self._stale = True
 
     # ------------------------------------------------------------------
     # assignment reconciliation
@@ -471,29 +576,46 @@ class Interval:
         scheduler must MOVE each of them.
 
         O(1) when nothing changed since the last reconciliation; when
-        work is needed, only diverging windows are touched and top-up
-        slots come from the free index instead of a range scan.
+        work is needed, only diverging windows are touched (the dirty
+        position set narrows the scan while the target memo is valid)
+        and top-up slots come from the free index instead of a range
+        scan.
         """
         if not self._stale:
             return []
-        target = self._target_list()
-        counts = self._counts_list()
-        if counts == target:
-            self._stale = False
-            return []
-        windows = self._enclosing()
+        counts = self._counts
+        if self._dirty_all or not self._tvalid:
+            target = self._target_list()
+            self._dirty_all = False
+            self._dirty.clear()
+            if counts == target:
+                self._stale = False
+                return []
+            positions = [p for p in range(len(target))
+                         if counts[p] != target[p]]
+        else:
+            target = self._tlist
+            dirty = self._dirty
+            positions = [p for p in dirty if counts[p] != target[p]]
+            dirty.clear()
+            if not positions:
+                self._stale = False
+                return []
+            if len(positions) > 1:
+                positions.sort()
+        aslots = self._aslots
         revoked: list[JobId] = []
         deficit = 0
+        deficit_pos: list[int] = []
 
         # Phase 1: releases (excess assignments), empty slots first.
-        for pos, want in enumerate(target):
+        for pos in positions:
+            want = target[pos]
             have = counts[pos]
             if have < want:
                 deficit += want - have
+                deficit_pos.append(pos)
                 continue
-            if have == want:
-                continue
-            w = windows[pos]
             excess = have - want
             # Single sorted pass partitioning empty vs occupied backing
             # slots (empties release first); stops probing once enough
@@ -501,7 +623,7 @@ class Interval:
             # release.
             empties: list[int] = []
             occupied: list[int] = []
-            for s in sorted(self.assigned[w]):
+            for s in sorted(aslots[pos]):
                 if level_job_at(s) is None:
                     empties.append(s)
                     if len(empties) == excess:
@@ -509,9 +631,9 @@ class Interval:
                 else:
                     occupied.append(s)
             for s in empties:
-                self._do_release(w, pos, s)
+                self._do_release(pos, s)
             for s in occupied[:excess - len(empties)]:
-                self._do_release(w, pos, s)
+                self._do_release(pos, s)
                 job = level_job_at(s)
                 if job is not None:
                     revoked.append(job)
@@ -522,7 +644,7 @@ class Interval:
         if deficit:
             empties = []
             covered = []
-            for s in self.free_slots():
+            for s in self._free:
                 if empty_at(s):
                     empties.append(s)
                     if len(empties) == deficit:
@@ -531,8 +653,8 @@ class Interval:
                     covered.append(s)
             pool = empties + covered
             fi = 0
-            for pos, want in enumerate(target):
-                need = want - counts[pos]
+            for pos in deficit_pos:
+                need = target[pos] - counts[pos]
                 if need <= 0:
                     continue
                 if fi + need > len(pool):  # pragma: no cover - defensive
@@ -540,9 +662,8 @@ class Interval:
                         f"interval {self.index} (level {self.level}): target "
                         "fulfillment exceeds allowance"
                     )
-                w = windows[pos]
                 for s in pool[fi:fi + need]:
-                    self._do_assign(w, pos, s)
+                    self._do_assign(pos, s)
                 fi += need
         self._stale = False
         return revoked
@@ -572,43 +693,56 @@ class Interval:
         return lambda: self._swap_raw(s1, s2, fire_hooks=False)
 
     def _swap_raw(self, s1: int, s2: int, *, fire_hooks: bool) -> None:
-        in1 = s1 in self.lower_occupied
-        in2 = s2 in self.lower_occupied
-        if in1 != in2:
-            if in1:
-                self.lower_occupied.discard(s1)
-                self.lower_occupied.add(s2)
-            else:
-                self.lower_occupied.discard(s2)
-                self.lower_occupied.add(s1)
-        o1 = self.slot_owner.pop(s1, None)
-        o2 = self.slot_owner.pop(s2, None)
-        if o1 is not None:
-            self.assigned[o1].discard(s1)
-            if fire_hooks and self.on_release is not None:
-                self.on_release(o1, s1)
-        if o2 is not None:
-            self.assigned[o2].discard(s2)
-            if fire_hooks and self.on_release is not None:
-                self.on_release(o2, s2)
-        if o1 is not None:
-            self.slot_owner[s2] = o1
-            self.assigned[o1].add(s2)
-            if fire_hooks and self.on_assign is not None:
-                self.on_assign(o1, s2)
-        if o2 is not None:
-            self.slot_owner[s1] = o2
-            self.assigned[o2].add(s1)
-            if fire_hooks and self.on_assign is not None:
-                self.on_assign(o2, s1)
-        # Per-window assignment counts are unchanged (each owner keeps
-        # the same number of slots). Recompute free membership for both
-        # endpoints from first principles (allowance + unowned).
+        lo = self.lo
+        i1 = s1 - lo
+        i2 = s2 - lo
+        lower = self._lower
+        if lower[i1] != lower[i2]:
+            lower[i1], lower[i2] = lower[i2], lower[i1]
+        owner = self._owner
+        o1 = owner[i1]
+        o2 = owner[i2]
+        owner[i1] = owner[i2] = -1
+        aslots = self._aslots
+        ws_list = self._ws
+        on_release = self.on_release
+        on_assign = self.on_assign
+        if o1 >= 0:
+            aslots[o1].discard(s1)
+            if fire_hooks and on_release is not None:
+                ws = ws_list[o1]
+                if ws is not None:
+                    on_release(ws, s1)
+        if o2 >= 0:
+            aslots[o2].discard(s2)
+            if fire_hooks and on_release is not None:
+                ws = ws_list[o2]
+                if ws is not None:
+                    on_release(ws, s2)
+        if o1 >= 0:
+            owner[i2] = o1
+            aslots[o1].add(s2)
+            if fire_hooks and on_assign is not None:
+                ws = ws_list[o1]
+                if ws is not None:
+                    on_assign(ws, s2)
+        if o2 >= 0:
+            owner[i1] = o2
+            aslots[o2].add(s1)
+            if fire_hooks and on_assign is not None:
+                ws = ws_list[o2]
+                if ws is not None:
+                    on_assign(ws, s1)
+        # Per-position assignment counts are unchanged (each owner keeps
+        # the same number of slots), and the target is a pure function
+        # of allowance *size* and demand — both unchanged — so the memo
+        # and the staleness flag survive a swap. Recompute free
+        # membership for both endpoints from first principles.
         for s in (s1, s2):
             self._free_discard(s)
-            if s not in self.lower_occupied and s not in self.slot_owner:
+            i = s - lo
+            if not lower[i] and owner[i] < 0:
                 self._free_add(s)
-        self._invalidate()
 
     # ------------------------------------------------------------------
     def total_demand(self) -> int:
@@ -616,5 +750,5 @@ class Interval:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Interval(level={self.level}, idx={self.index}, "
-                f"[{self.lo},{self.hi}), lower={len(self.lower_occupied)}, "
-                f"assigned={sum(len(v) for v in self.assigned.values())})")
+                f"[{self.lo},{self.hi}), lower={self._n_lower}, "
+                f"assigned={sum(self._counts)})")

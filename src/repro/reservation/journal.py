@@ -41,16 +41,27 @@ This module is the replacement:
 Opcode reference (entry layouts)
 --------------------------------
 ========================  ==================================================
-``(OP_ASSIGN, iv, w, pos, slot)``     undo an interval slot assignment
-``(OP_RELEASE, iv, w, pos, slot)``    undo an interval slot release
-``(OP_DYNAMIC, iv, w, delta)``        undo a dynamic-reservation delta
-``(OP_LOWERED, iv, slot, owner)``     undo an allowance shrink
+``(OP_ASSIGN, iv, pos, slot)``        undo an interval slot assignment
+``(OP_RELEASE, iv, pos, slot)``       undo an interval slot release
+``(OP_DYNAMIC, iv, pos, delta)``      undo a dynamic-reservation delta
+``(OP_LOWERED, iv, slot, opos)``      undo an allowance shrink (opos = owner
+                                      ladder position, -1 for unowned)
 ``(OP_RAISED, iv, slot)``             undo an allowance growth
 ``(OP_SWAP, iv, s1, s2)``             undo a slot-role swap (involution)
 ``(OP_POP, mapping, key)``            remove a key added by the request
 ``(OP_SET, mapping, key, old)``       restore a mapping entry's old value
 ``(OP_WINDOW_STATE, ws, jobs, empty, covered)``  restore a WindowState
+``(OP_PLACE, sched, job_id, slot)``   undo one placement (all three maps)
+``(OP_UNPLACE, sched, job_id, slot)`` redo one placement (all three maps)
 ========================  ==================================================
+
+Interval entries address state *positionally* (``pos`` = the enclosing
+window's ladder position, ``slot`` relative slot ints) — no Window
+objects, so recording an entry never hashes a window. ``OP_PLACE`` /
+``OP_UNPLACE`` are the placement-map fold: one combined entry replaces
+the three per-map ``OP_SET``/``OP_POP`` entries a placement mutation
+used to record, exploiting that the three maps only ever change
+together through ``_set_placement`` / ``_clear_placement``.
 
 The undone state is byte-for-byte what the closure implementation
 produced — both call the same ``Interval._undo_*`` primitives — which
@@ -72,6 +83,8 @@ OP_WINDOW_STATE = 5
 OP_LOWERED = 6
 OP_RAISED = 7
 OP_SWAP = 8
+OP_PLACE = 9
+OP_UNPLACE = 10
 
 
 def replay_entries(entries: list, stop: int = 0) -> None:
@@ -90,9 +103,9 @@ def replay_entries(entries: list, stop: int = 0) -> None:
             continue
         op = e[0]
         if op == OP_ASSIGN:
-            e[1]._undo_assign(e[2], e[3], e[4])
+            e[1]._undo_assign(e[2], e[3])
         elif op == OP_RELEASE:
-            e[1]._undo_release(e[2], e[3], e[4])
+            e[1]._undo_release(e[2], e[3])
         elif op == OP_DYNAMIC:
             e[1]._undo_dynamic(e[2], e[3])
         elif op == OP_POP:
@@ -112,6 +125,10 @@ def replay_entries(entries: list, stop: int = 0) -> None:
             # the raw swap is an involution; hooks are not refired on
             # undo (the window-state journal entries restore those)
             e[1]._swap_raw(e[2], e[3], fire_hooks=False)
+        elif op == OP_PLACE:
+            e[1]._undo_place(e[2], e[3])
+        elif op == OP_UNPLACE:
+            e[1]._undo_unplace(e[2], e[3])
         else:  # pragma: no cover - defensive
             raise AssertionError(f"unknown journal opcode in {e!r}")
 

@@ -54,9 +54,20 @@ journal is replaced by batch-scoped rollback (:class:`_AtomicBatchLog`)
 and their tables are snapshotted once per batch on first touch, the
 placement maps rewind from the batch-level touched log, and job levels
 rebuild from spans on the (rare) abort. The per-request journal
-setup/teardown and the three placement-map journal entries per
-mutation disappear entirely, while a mid-batch failure still restores
-the exact pre-batch state.
+setup/teardown and all placement-map journaling disappear entirely,
+while a mid-batch failure still restores the exact pre-batch state.
+
+Placement-map journal diet: the same touched-log rewind covers the
+*per-request* journal too. ``_set_placement`` / ``_clear_placement``
+are the only mutators of the three placement maps and always record
+the touched job first, so whenever a live touched log exists the
+failed-request rollback rewinds the maps from it
+(:meth:`AlignedReservationScheduler._rollback`) and the journal skips
+them entirely; when no touched log is live (``emit_touched=False``
+rebuild inners), one combined ``OP_PLACE`` / ``OP_UNPLACE`` entry per
+mutation replaces the three per-map entries. Setting
+``_placement_diet = False`` restores full per-map journaling — the
+equivalence oracle for the diet's property tests.
 
 Journal representation (the allocation diet): undo entries are tuple
 opcodes replayed by one dispatch loop, and both the per-request journal
@@ -91,7 +102,15 @@ from ..core.job import Job, JobId, Placement
 from ..core.window import Window
 from ..levels.policy import LevelPolicy, PAPER_POLICY
 from .interval import Interval
-from .journal import OP_POP, OP_SET, OP_WINDOW_STATE, UndoArena, replay_entries
+from .journal import (
+    OP_PLACE,
+    OP_POP,
+    OP_SET,
+    OP_UNPLACE,
+    OP_WINDOW_STATE,
+    UndoArena,
+    replay_entries,
+)
 from .window_state import WindowState, rr_diff
 
 _MISSING = object()
@@ -100,6 +119,18 @@ _MISSING = object()
 def _closure_pop(d: dict, key: Hashable) -> Callable[[], None]:
     """Closure-journal oracle entry equivalent to ``(OP_POP, d, key)``."""
     return lambda: d.pop(key, None)
+
+
+def _closure_place(sched: "AlignedReservationScheduler", job_id: JobId,
+                   slot: int) -> Callable[[], None]:
+    """Closure-journal oracle entry equivalent to ``(OP_PLACE, ...)``."""
+    return lambda: sched._undo_place(job_id, slot)
+
+
+def _closure_unplace(sched: "AlignedReservationScheduler", job_id: JobId,
+                     slot: int) -> Callable[[], None]:
+    """Closure-journal oracle entry equivalent to ``(OP_UNPLACE, ...)``."""
+    return lambda: sched._undo_unplace(job_id, slot)
 
 
 def _closure_set(d: dict, key: Hashable, old: object) -> Callable[[], None]:
@@ -201,6 +232,12 @@ class AlignedReservationScheduler(ReallocatingScheduler):
     #: scheduler regardless, so per-survivor journal work is pure waste.
     _journal_enabled = True
 
+    #: True (default) skips placement-map journaling whenever the live
+    #: touched log alone can rewind the three maps (the journal diet);
+    #: False records the full per-mutation entries — the equivalence
+    #: oracle for the diet's property tests.
+    _placement_diet = True
+
     def __init__(self, policy: LevelPolicy = PAPER_POLICY, *,
                  tracer: EventTracer | NullTracer | None = None,
                  journal: str = "arena") -> None:
@@ -252,15 +289,12 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         # split reads (stale plain dicts) from writes (the proxies).
         if self._sanitize:
             install_sanitizer(self)
-        #: per-level assignment-change hooks handed to intervals
-        self._assign_hooks = {
-            lv: self._make_assign_hook(lv)
+        #: level -> bit shift mapping a slot to its interval index
+        #: (interval spans are powers of two); index 0 is unused padding
+        self._iv_shift = [0] + [
+            policy.interval_span(lv).bit_length() - 1
             for lv in range(1, policy.num_reservation_levels + 1)
-        }
-        self._release_hooks = {
-            lv: self._make_release_hook(lv)
-            for lv in range(1, policy.num_reservation_levels + 1)
-        }
+        ]
         #: level -> cached occupancy probe for Interval.rebalance; built
         #: once here so the rebalance path allocates no closures per call
         self._level_probes = {
@@ -278,7 +312,7 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         (:mod:`repro.multimachine.procworkers`) ship scheduler state
         across a process boundary exactly twice per worker lifetime —
         seed and crash re-seed — so the only state excluded is the
-        per-level hook closures (rebuilt on restore) and the in-flight
+        per-level probe closures (rebuilt on restore) and the in-flight
         request/batch journals, which are None at every burst boundary.
         """
         if (self._batch is not None or self._abatch is not None
@@ -288,8 +322,6 @@ class AlignedReservationScheduler(ReallocatingScheduler):
                 "batch context"
             )
         state = self.__dict__.copy()
-        del state["_assign_hooks"]
-        del state["_release_hooks"]
         del state["_level_probes"]
         # the arena is process-local scratch (empty at every legal
         # serialization point); the restored scheduler gets a fresh one
@@ -300,13 +332,11 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         self.__dict__.update(state)
         self._arena = UndoArena()
         levels = range(1, self.policy.num_reservation_levels + 1)
-        self._assign_hooks = {lv: self._make_assign_hook(lv) for lv in levels}
-        self._release_hooks = {lv: self._make_release_hook(lv) for lv in levels}
         self._level_probes = {lv: self._make_level_probe(lv) for lv in levels}
-        for lv, table in self.intervals.items():
+        for table in self.intervals.values():
             for iv in table.values():
-                iv.on_assign = self._assign_hooks[lv]
-                iv.on_release = self._release_hooks[lv]
+                iv.on_assign = self._on_assign
+                iv.on_release = self._on_release
 
     # ------------------------------------------------------------------
     # ReallocatingScheduler interface
@@ -398,8 +428,33 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         self._journal = self._jseen = self._jtouched = None
 
     def _rollback(self) -> None:
-        """Replay the undo journal in reverse, restoring pre-request state."""
+        """Replay the undo journal in reverse, restoring pre-request state.
+
+        When the request ran under a live touched log and the placement
+        diet is on, the journal holds no placement-map entries: the
+        three maps rewind from the touched log instead, exactly as the
+        atomic-batch abort does (``_batch_restore``).
+        """
         replay_entries(self._journal)
+        touched = self._touched
+        if touched is not None and self._placement_diet:
+            # Same orphan-safety argument as _batch_restore: any slot
+            # now held by a job it did not hold pre-request belongs to
+            # a touched job, so clearing touched jobs first cannot
+            # orphan an untouched occupant.
+            placements = self._placements
+            job_slot = self.job_slot
+            slot_job = self.slot_job
+            for job_id in touched:
+                pl = placements.pop(job_id, None)
+                if pl is not None:
+                    del slot_job[pl.slot]
+                    del job_slot[job_id]
+            for job_id, old in touched.items():
+                if old is not None:
+                    placements[job_id] = old
+                    job_slot[job_id] = old.slot
+                    slot_job[old.slot] = job_id
 
     @property
     def journal_entries_total(self) -> int:
@@ -484,6 +539,27 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             ab.seen.add(id(ws))
             ab.windows.append((ws, set(ws.jobs), ws.backed_empty.snapshot(),
                                ws.backed_covered.snapshot()))
+
+    def _jws_slot(self, iv: Interval, pos: int) -> None:
+        """Journal one interval ``_ws`` ladder-cache entry before rebinding.
+
+        The cache is a list, so a plain ``OP_SET`` entry restores it
+        (``replay_entries`` subscripts the container either way). No
+        first-touch dedup: entries compose exactly under reverse replay,
+        and a window state is created/destroyed at most once per scope
+        per ladder position in practice.
+        """
+        journal = self._journal
+        if journal is not None:
+            journal.append(_closure_set(iv._ws, pos, iv._ws[pos])
+                           if self._closure_journal
+                           else (OP_SET, iv._ws, pos, iv._ws[pos]))
+            return
+        ab = self._abatch
+        if ab is not None and ab.track:
+            ab.journal.append(_closure_set(iv._ws, pos, iv._ws[pos])
+                              if self._closure_journal
+                              else (OP_SET, iv._ws, pos, iv._ws[pos]))
 
     def _jstates_dict(self, states: dict) -> None:
         """Capture a window-state table before structural change (atomic).
@@ -583,54 +659,92 @@ class AlignedReservationScheduler(ReallocatingScheduler):
     # ------------------------------------------------------------------
     def _set_placement(self, job_id: JobId, slot: int) -> None:
         self._log_touch(job_id)
-        if self._journal is not None:
-            # atomic batches skip these: the placement maps rewind from
-            # the batch-level touched log instead (_batch_restore)
-            self._jdict(self._placements, job_id)
-            self._jdict(self.job_slot, job_id)
-            self._jdict(self.slot_job, slot)
+        journal = self._journal
+        if journal is not None and (self._touched is None
+                                    or not self._placement_diet):
+            # One combined entry for the three-map mutation. When a
+            # live touched log exists (and the diet is on) even this is
+            # skipped: _rollback rewinds the maps from the touched log,
+            # as _batch_restore does for atomic batches. The dedup
+            # tokens keep the sanitizer's first-touch accounting exact.
+            seen = self._jseen
+            seen.add((id(self._placements), job_id))
+            seen.add((id(self.job_slot), job_id))
+            seen.add((id(self.slot_job), slot))
+            journal.append(_closure_place(self, job_id, slot)
+                           if self._closure_journal
+                           else (OP_PLACE, self, job_id, slot))
         self.slot_job[slot] = job_id
         self.job_slot[job_id] = slot
         self._placements[job_id] = Placement(0, slot)
 
     def _clear_placement(self, job_id: JobId, slot: int) -> None:
         self._log_touch(job_id)
-        if self._journal is not None:
-            self._jdict(self._placements, job_id)
-            self._jdict(self.job_slot, job_id)
-            self._jdict(self.slot_job, slot)
+        journal = self._journal
+        if journal is not None and (self._touched is None
+                                    or not self._placement_diet):
+            seen = self._jseen
+            seen.add((id(self._placements), job_id))
+            seen.add((id(self.job_slot), job_id))
+            seen.add((id(self.slot_job), slot))
+            journal.append(_closure_unplace(self, job_id, slot)
+                           if self._closure_journal
+                           else (OP_UNPLACE, self, job_id, slot))
         del self.slot_job[slot]
         del self.job_slot[job_id]
         del self._placements[job_id]
 
+    def _undo_place(self, job_id: JobId, slot: int) -> None:
+        """Journal inverse of :meth:`_set_placement`.
+
+        Exact (not just idempotent): every ``_set_placement`` call site
+        clears any previous occupant of ``slot`` and any previous slot
+        of ``job_id`` first, so at record time none of the three keys
+        was present.
+        """
+        del self._placements[job_id]
+        del self.job_slot[job_id]
+        del self.slot_job[slot]
+
+    def _undo_unplace(self, job_id: JobId, slot: int) -> None:
+        """Journal inverse of :meth:`_clear_placement`.
+
+        ``Placement(0, slot)`` reconstructs the cleared value exactly:
+        the single-machine scheduler only ever records machine 0.
+        """
+        self.slot_job[slot] = job_id
+        self.job_slot[job_id] = slot
+        self._placements[job_id] = Placement(0, slot)
+
     # ------------------------------------------------------------------
     # backed-slot indexes (PLACE/MOVE fast path)
     # ------------------------------------------------------------------
-    def _make_assign_hook(self, level: int) -> Callable[[Window, int], None]:
-        """Interval callback: slot newly backs a reservation of ``window``."""
-        def on_assign(window: Window, slot: int) -> None:
-            ws = self.window_states[level].get(window)
-            if ws is None:
-                return
-            self._jwindow_state(ws)
-            occ = self.slot_job.get(slot)
-            if occ is None:
-                ws.backed_empty.add(slot)
-            elif self._job_levels[occ] != level:
-                ws.backed_covered.add(slot)
-            # own-level occupant: slot backs its own job, in neither index
-        return on_assign
+    def _on_assign(self, ws: WindowState, slot: int) -> None:
+        """Interval callback: ``slot`` newly backs a reservation of ``ws``.
 
-    def _make_release_hook(self, level: int) -> Callable[[Window, int], None]:
-        """Interval callback: slot no longer backs ``window``."""
-        def on_release(window: Window, slot: int) -> None:
-            ws = self.window_states[level].get(window)
-            if ws is None:
-                return
+        Intervals resolve the window state themselves through their
+        ``_ws`` ladder cache (and skip the call while it is None, i.e.
+        before the state is published), so the hook is one bound method
+        shared by every interval — no per-level closures, no window
+        hashing on the hot path.
+        """
+        # inlined dedup fast path: _jwindow_state is a no-op once the
+        # state is snapshotted this request (the common case)
+        if self._journal is None or id(ws) not in self._jseen:
             self._jwindow_state(ws)
-            ws.backed_empty.discard(slot)
-            ws.backed_covered.discard(slot)
-        return on_release
+        occ = self.slot_job.get(slot)
+        if occ is None:
+            ws.backed_empty.add(slot)
+        elif self._job_levels[occ] != ws.level:
+            ws.backed_covered.add(slot)
+        # own-level occupant: slot backs its own job, in neither index
+
+    def _on_release(self, ws: WindowState, slot: int) -> None:
+        """Interval callback: ``slot`` no longer backs ``ws``."""
+        if self._journal is None or id(ws) not in self._jseen:
+            self._jwindow_state(ws)
+        ws.backed_empty.discard(slot)
+        ws.backed_covered.discard(slot)
 
     def _reclassify_backed(self, slot: int) -> None:
         """Refresh ``slot``'s backed-index membership at every level.
@@ -641,18 +755,22 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         """
         occ = self.slot_job.get(slot)
         occ_level = self._job_levels[occ] if occ is not None else None
-        interval_index = self.policy.interval_index
+        shifts = self._iv_shift
+        intervals = self.intervals
+        journal = self._journal
+        jseen = self._jseen
         for lv in range(1, self.policy.num_reservation_levels + 1):
-            iv = self.intervals[lv].get(interval_index(lv, slot))
+            iv = intervals[lv].get(slot >> shifts[lv])
             if iv is None:
                 continue
-            window = iv.slot_owner.get(slot)
-            if window is None:
+            pos = iv._owner[slot - iv.lo]
+            if pos < 0:
                 continue
-            ws = self.window_states[lv].get(window)
+            ws = iv._ws[pos]
             if ws is None:
                 continue
-            self._jwindow_state(ws)
+            if journal is None or id(ws) not in jseen:
+                self._jwindow_state(ws)
             ws.backed_empty.discard(slot)
             ws.backed_covered.discard(slot)
             if occ is None:
@@ -679,14 +797,26 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         slot_job = self.slot_job
         backed_empty_add = ws.backed_empty.add
         backed_covered_add = ws.backed_covered.add
+        member_ivs = []
+        pos = -1
         for idx in ws.interval_ids:
             iv = self._interval(level, idx)
-            for s in sorted(iv.assigned.get(window, ())):
+            member_ivs.append(iv)
+            if pos < 0:
+                pos = iv._pos(window)
+            for s in sorted(iv._aslots[pos]):
                 occ = slot_job.get(s)
                 if occ is None:
                     backed_empty_add(s)
                 elif levels[occ] != level:
                     backed_covered_add(s)
+        ws.ladder_pos = pos
+        # Publish the ladder-cache references only after seeding: the
+        # materialization rebalances above ran with _ws[pos] still None,
+        # so their assignment hooks could not double-count.
+        for iv in member_ivs:
+            self._jws_slot(iv, pos)
+            iv._ws[pos] = ws
         states[window] = ws
         return ws
 
@@ -705,7 +835,8 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         emit = self.tracer.emit
         for pos, delta in rr_diff(x_old, ws.x, ws.n_intervals).items():
             iv = self._interval(level, base_index + pos)
-            self._jtouch(iv)
+            if iv.undo_log is None:  # inlined _jtouch first-touch guard
+                self._jtouch(iv)
             iv.add_dynamic(window, delta)
             emit("reserve", job_id, level, f"interval {iv.index} {delta:+d}")
             self._rebalance(iv)
@@ -720,13 +851,23 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         base_index = ws.interval_ids.start
         for pos, delta in rr_diff(x_old, ws.x, ws.n_intervals).items():
             iv = self._interval(level, base_index + pos)
-            self._jtouch(iv)
+            if iv.undo_log is None:  # inlined _jtouch first-touch guard
+                self._jtouch(iv)
             iv.add_dynamic(window, delta)
             self._rebalance(iv)
         if ws.x == 0:
             self._jdict(states, window)
             self._jstates_dict(states)
             del states[window]
+            # Drop the ladder-cache references (journaled per entry:
+            # _ws lists restore through plain OP_SET replay on abort)
+            table = self.intervals[level]
+            pos = ws.ladder_pos
+            for idx in ws.interval_ids:
+                iv = table.get(idx)
+                if iv is not None:
+                    self._jws_slot(iv, pos)
+                    iv._ws[pos] = None
 
     def _place(self, job_id: JobId, window: Window, level: int) -> None:
         """Figure 1, PLACE: put the job on a fulfilled slot of its window."""
@@ -809,11 +950,10 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             self.tracer.emit("displace-swap", displaced, self._job_levels[displaced],
                              f"{new} -> {old}")
         # Ancestor bookkeeping swap (Figure 1, lines 12-13).
-        interval_index = self.policy.interval_index
+        shifts = self._iv_shift
         for lv in self.policy.levels_above(level):
-            idx_old = interval_index(lv, old)
-            idx_new = interval_index(lv, new)
-            if idx_old != idx_new:  # pragma: no cover - defensive
+            idx_old = old >> shifts[lv]
+            if idx_old != new >> shifts[lv]:  # pragma: no cover - defensive
                 raise AssertionError(
                     "MOVE endpoints must share every ancestor interval"
                 )
@@ -845,11 +985,11 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         # The slot leaves the allowance of levels (level, top].
         top = (displaced_level if displaced_level is not None
                else self.policy.num_reservation_levels)
-        interval_index = self.policy.interval_index
+        shifts = self._iv_shift
         for lv in range(level + 1, top + 1):
-            iv = self.intervals[lv].get(interval_index(lv, slot))
+            iv = self.intervals[lv].get(slot >> shifts[lv])
             if iv is not None:
-                if slot not in iv.lower_occupied:
+                if not iv._lower[slot - iv.lo]:
                     self._jtouch(iv)
                     iv.slot_lowered(slot)
                 self._rebalance(iv)
@@ -858,11 +998,11 @@ class AlignedReservationScheduler(ReallocatingScheduler):
 
     def _notify_raised(self, slot: int, level: int) -> None:
         """A level-``level`` job vacated ``slot``: higher allowances grow."""
-        interval_index = self.policy.interval_index
+        shifts = self._iv_shift
         for lv in range(level + 1, self.policy.num_reservation_levels + 1):
-            iv = self.intervals[lv].get(interval_index(lv, slot))
+            iv = self.intervals[lv].get(slot >> shifts[lv])
             if iv is not None:
-                if slot in iv.lower_occupied:
+                if iv._lower[slot - iv.lo]:
                     self._jtouch(iv)
                     iv.slot_raised(slot)
                 self._rebalance(iv)
@@ -871,8 +1011,9 @@ class AlignedReservationScheduler(ReallocatingScheduler):
         """Reconcile an interval's assignment and MOVE any revoked jobs."""
         if not iv._stale:
             return  # nothing changed since the last reconciliation
-        self._jtouch(iv)
-        revoked = iv.rebalance(self._level_job_at(iv.level), self._empty_at)
+        if iv.undo_log is None:  # inlined _jtouch first-touch guard
+            self._jtouch(iv)
+        revoked = iv.rebalance(self._level_probes[iv.level], self._empty_at)
         for job_id in revoked:
             self._move(job_id, iv.level)
 
@@ -963,17 +1104,24 @@ class AlignedReservationScheduler(ReallocatingScheduler):
             level=level, index=index,
             lo=index * span, hi=(index + 1) * span,
             enclosing_spans=tuple(self.policy.enclosing_spans(level)),
-            on_assign=self._assign_hooks[level],
-            on_release=self._release_hooks[level],
+            on_assign=self._on_assign,
+            on_release=self._on_release,
             closure_undo=self._closure_journal,
         )
         slot_job = self.slot_job
         levels = self._job_levels
-        lower_occupied_add = iv.lower_occupied.add
-        for s in iv.slots():
-            occ = slot_job.get(s)
-            if occ is not None and levels[occ] < level:
-                lower_occupied_add(s)
+        lowered = [s for s in iv.slots()
+                   if (occ := slot_job.get(s)) is not None
+                   and levels[occ] < level]
+        if lowered:
+            iv.seed_lower(lowered)
+        # Seed the ladder cache from the already-published window states
+        # (fresh intervals start with every _ws entry None).
+        states = self.window_states[level]
+        if states:
+            ws_list = iv._ws
+            for pos, w in enumerate(iv._windows):
+                ws_list[pos] = states.get(w)
         journal = self._journal
         if journal is not None:
             journal.append(_closure_pop(table, index)

@@ -228,12 +228,17 @@ def _check_fast_path_indexes(sched: AlignedReservationScheduler) -> None:
 
     Cross-checks, per interval: the memoized fulfillment target against
     :meth:`~repro.reservation.interval.Interval.compute_target_fresh`
-    (Observation 7's history-independence guard) and the maintained
-    free-slot index against a full allowance scan; per window state: the
-    backed_empty/backed_covered indexes against a rescan of the window's
-    assignments, and the indexed PLACE choice against the reference scan.
+    (Observation 7's history-independence guard), the maintained
+    free-slot index against a full allowance scan, and the flattened
+    slot-indexed arrays (``_lower``/``_owner``/``_aslots`` and their
+    maintained counters) against each other and against the scheduler's
+    window-state tables (the ``_ws`` ladder-cache invariant); per window
+    state: the backed_empty/backed_covered indexes against a rescan of
+    the window's assignments, and the indexed PLACE choice against the
+    reference scan.
     """
     for level, table in sched.intervals.items():
+        states = sched.window_states[level]
         for iv in table.values():
             where = f"interval level={level} idx={iv.index}"
             if iv.target_fulfilled() != iv.compute_target_fresh():
@@ -246,6 +251,33 @@ def _check_fast_path_indexes(sched: AlignedReservationScheduler) -> None:
             if iv.free_slots() != expected_free:
                 _fail(f"{where}: free-slot index {iv.free_slots()} != "
                       f"recomputed {expected_free}")
+            # flattened-array internal consistency
+            if iv._n_lower != sum(iv._lower):
+                _fail(f"{where}: _n_lower {iv._n_lower} != popcount "
+                      f"{sum(iv._lower)}")
+            if iv._dyn_total != sum(iv._dyn):
+                _fail(f"{where}: _dyn_total {iv._dyn_total} != "
+                      f"sum(_dyn) {sum(iv._dyn)}")
+            for pos, slots in enumerate(iv._aslots):
+                if iv._counts[pos] != len(slots):
+                    _fail(f"{where}: _counts[{pos}] {iv._counts[pos]} != "
+                          f"len(_aslots[{pos}]) {len(slots)}")
+                for s in sorted(slots):
+                    if iv._owner[s - iv.lo] != pos:
+                        _fail(f"{where}: _owner[{s - iv.lo}] != ladder "
+                              f"position {pos} of its assigned slot {s}")
+            for i, pos in enumerate(iv._owner):
+                if pos >= 0 and iv.lo + i not in iv._aslots[pos]:
+                    _fail(f"{where}: _owner claims slot {iv.lo + i} for "
+                          f"position {pos} but _aslots disagrees")
+                if pos >= 0 and iv._lower[i]:
+                    _fail(f"{where}: slot {iv.lo + i} both owned and "
+                          "lowered")
+            # ladder-cache invariant: _ws mirrors the published tables
+            for pos, w in enumerate(iv._windows):
+                if iv._ws[pos] is not states.get(w):
+                    _fail(f"{where}: _ws[{pos}] out of sync with "
+                          f"window_states for {w}")
     for level, states in sched.window_states.items():
         for w, ws in states.items():
             empty: set[int] = set()

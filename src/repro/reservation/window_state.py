@@ -111,6 +111,20 @@ def rr_diff(x_old: int, x_new: int, n_intervals: int) -> dict[int, int]:
     positions change by +/-1 (possibly wrapping around the interval
     list), matching the paper's incremental description.
     """
+    # O(1) unit-step fast path (the scheduler's only hot shape): adding
+    # one job advances the round-robin remainder r = 2x mod n by two, so
+    # exactly positions r and r+1 (mod n) gain a reservation; removing
+    # one job is the mirror image. Both collapse onto one doubled
+    # position when n == 1. Cross-checked against the list-diff general
+    # path by the unit-test property suite.
+    if x_new == x_old + 1 and x_old >= 0:
+        r = (2 * x_old) % n_intervals
+        p1, p2 = r, (r + 1) % n_intervals
+        return {p1: 2} if p1 == p2 else {p1: 1, p2: 1}
+    if x_new == x_old - 1 and x_new >= 0:
+        r = (2 * x_new) % n_intervals
+        p1, p2 = r, (r + 1) % n_intervals
+        return {p1: -2} if p1 == p2 else {p1: -1, p2: -1}
     old = rr_counts(x_old, n_intervals)
     new = rr_counts(x_new, n_intervals)
     return {i: new[i] - old[i] for i in range(n_intervals) if new[i] != old[i]}
@@ -148,6 +162,12 @@ class WindowState:
         Backing slots holding a job of a *higher* level (PLACE's
         displacement fallback), sorted. Slots under this window's own
         level-l jobs appear in neither index.
+    ladder_pos:
+        The window's ladder position inside each member interval
+        (identical across members: a function of span and level alone).
+        Set by the scheduler when the state is published; -1 until then.
+        Keyed into ``Interval._ws`` so hooks and backed-index refreshes
+        never hash the window.
     """
 
     window: Window
@@ -158,6 +178,7 @@ class WindowState:
                                     compare=False)
     backed_covered: SlotIndex = field(default_factory=SlotIndex, repr=False,
                                       compare=False)
+    ladder_pos: int = field(default=-1, repr=False, compare=False)
 
     @property
     def x(self) -> int:

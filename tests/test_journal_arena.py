@@ -422,3 +422,137 @@ def test_unpickled_scheduler_gets_fresh_arena():
     # the restored scheduler journals and rolls back normally
     clone.insert(Job("fill2", Window(2, 3)))
     assert aligned_fingerprint(clone)[:5] != aligned_fingerprint(sched)[:5]
+
+
+# ----------------------------------------------------------------------
+# placement-map journal diet (touched-log rewind replaces per-map entries)
+# ----------------------------------------------------------------------
+def _counting_scheduler(deltas, **kwargs):
+    """Aligned scheduler recording journal-entry deltas per placement
+    mutation (only while a request journal is open)."""
+
+    class Counting(AlignedReservationScheduler):
+        def _set_placement(self, job_id, slot):
+            before = None if self._journal is None else len(self._journal)
+            super()._set_placement(job_id, slot)
+            if before is not None:
+                deltas.append(len(self._journal) - before)
+
+        def _clear_placement(self, job_id, slot):
+            before = None if self._journal is None else len(self._journal)
+            super()._clear_placement(job_id, slot)
+            if before is not None:
+                deltas.append(len(self._journal) - before)
+
+    return Counting(**kwargs)
+
+
+def test_placement_fold_journals_one_entry_not_three():
+    """Entry-count pin for the fold: with the diet disabled every
+    placement mutation journals exactly ONE combined opcode (previously
+    three per-map entries); with the diet on (live touched log) it
+    journals none at all."""
+    seq = make_workload(200, seed=7)
+
+    diet_deltas: list[int] = []
+    diet = _counting_scheduler(diet_deltas)
+    full_deltas: list[int] = []
+    full = _counting_scheduler(full_deltas)
+    full._placement_diet = False
+
+    for r in seq:
+        diet.apply(r)
+        full.apply(r)
+
+    assert stack_fingerprint(diet) == stack_fingerprint(full)
+    # both saw the same (nonzero) placement mutation traffic
+    assert len(diet_deltas) == len(full_deltas) > 0
+    assert set(diet_deltas) == {0}, "diet must skip placement journaling"
+    assert set(full_deltas) == {1}, "fold must journal one combined entry"
+
+
+@pytest.mark.parametrize("seed", [5, 23])
+def test_placement_diet_poisoned_request_identical(seed):
+    """A deep infeasible insert rolls the diet scheduler (touched-log
+    rewind) and the full-journaling oracle back to bit-identical
+    states, in both journal representations."""
+    seq = make_workload(250, seed=seed)
+    diet = AlignedReservationScheduler(journal="arena")
+    full_arena = AlignedReservationScheduler(journal="arena")
+    full_arena._placement_diet = False
+    full_closure = AlignedReservationScheduler(journal="closure")
+    full_closure._placement_diet = False
+    scheds = (diet, full_arena, full_closure)
+    for s in scheds:
+        s.insert(Job("fill", Window(0, 1)))  # [0,1) is now full
+    for r in seq:
+        for s in scheds:
+            s.apply(r)
+    poison = Job(f"poison-{seed}", Window(0, 1))
+    for s in scheds:
+        with pytest.raises(ReproError):
+            s.insert(poison)
+        assert s.poisoned
+        validate_scheduler(s)
+    fp = stack_fingerprint(diet)
+    assert fp == stack_fingerprint(full_arena)
+    assert fp == stack_fingerprint(full_closure)
+
+
+@pytest.mark.parametrize("name,machines,factory", STACKS)
+def test_placement_diet_atomic_abort_identical(name, machines, factory,
+                                               monkeypatch):
+    """A failing atomic batch aborts to the same deep state with the
+    placement diet on (default) and off (full per-map journaling),
+    through every scheduler stack."""
+    seq = make_workload(420, seed=29, machines=machines)
+    prefix, inside, after = seq[:200], seq[200:260], seq[260:]
+    bad = inside + [InsertJob(Job("dup", Window(0, 64))),
+                    InsertJob(Job("dup", Window(0, 64)))]
+
+    def run(diet: bool):
+        monkeypatch.setattr(AlignedReservationScheduler,
+                            "_placement_diet", diet)
+        s = factory("arena")
+        for r in prefix:
+            s.apply(r)
+        result = s.apply_batch(bad, atomic=True)
+        assert result.failed and result.rolled_back
+        mid = stack_fingerprint(s)
+        for r in inside + after:
+            s.apply(r)
+        return mid, stack_fingerprint(s)
+
+    assert run(True) == run(False)
+
+
+def test_placement_diet_procworker_crash_identical(monkeypatch):
+    """A worker process dying mid-burst rolls the whole burst back to
+    the same deep state with the diet on and off (workers fork with the
+    flag applied), and both recover to a bit-identical end state."""
+    seq = make_workload(400, seed=31, machines=3)
+    prefix, burst, rest = seq[:192], seq[192:224], seq[224:]
+
+    def run(diet: bool):
+        monkeypatch.setattr(AlignedReservationScheduler,
+                            "_placement_diet", diet)
+        s = ReservationScheduler(3, gamma=8, journal="arena")
+        try:
+            for chunk in iter_batches(prefix, 32):
+                result = s.apply_batch_sharded(chunk, workers="processes")
+                assert not result.failed, result.failure
+            s.delegator._shard_pool.crash_worker_after(1, 2)
+            result = s.apply_batch_sharded(burst, workers="processes")
+            assert result.failed and result.rolled_back
+            assert isinstance(result.error, WorkerCrashError)
+            s.close_shard_workers()
+            mid = stack_fingerprint(s)
+            for chunk in iter_batches(burst + rest, 32):
+                result = s.apply_batch_sharded(chunk, workers="processes")
+                assert not result.failed, result.failure
+            s.close_shard_workers()
+            return mid, stack_fingerprint(s)
+        finally:
+            s.close_shard_workers()
+
+    assert run(True) == run(False)

@@ -189,3 +189,22 @@ def test_sanitized_differential_matches_plain_arena(monkeypatch, machines,
                           batch_size=batch_size, atomic=True)
         assert got == reference, (
             f"sanitized {backend} diverged from the plain arena run")
+
+
+@pytest.mark.parametrize("machines,batch_size,seed", [(1, 16, 0), (3, 16, 3)])
+def test_sanitized_differential_diet_off_matches(monkeypatch, machines,
+                                                 batch_size, seed):
+    """The placement-diet oracle mode (full per-map journaling) runs
+    clean under the sanitizer and stays bit-identical to the default
+    diet run — the sanitizer accepts both the journaled and the
+    touched-log-covered placement protocols."""
+    seq = mixed_churn(160, seed, machines, 0.35)
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    reference = run_backend(seq, "sequential", machines=machines,
+                            batch_size=batch_size, atomic=True)
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    monkeypatch.setattr(AlignedReservationScheduler, "_placement_diet", False)
+    got = run_backend(seq, "sequential", machines=machines,
+                      batch_size=batch_size, atomic=True)
+    assert got == reference, (
+        "sanitized diet-off run diverged from the plain diet run")
