@@ -10,7 +10,12 @@ Validates every committed perf-trajectory artifact
    section for sectioned ones like E12/E13) carries ``experiment``,
    ``workload`` and ``metrics`` blocks;
 3. ``metrics`` contains at least one ``requests_per_second*`` field and
-   every metric value is a finite number.
+   every metric value is a finite number;
+4. the E14 flexible-semantics artifact additionally reports both sides
+   of its comparison (``requests_per_second_sequential`` and
+   ``requests_per_second_flexible_b64``) and the batch-64 speedup claim
+   it is asserted against — a semantics bench that silently dropped one
+   side would otherwise still pass the generic schema.
 
 Exit 0 when every artifact conforms, 1 otherwise (listing each
 violation). CI runs this right after the bench smoke so a bench that
@@ -30,11 +35,34 @@ RESULTS = REPO / "benchmarks" / "results"
 REQUIRED_BLOCKS = ("experiment", "workload", "metrics")
 
 
+#: per-experiment extra requirements: metrics keys and claims keys that
+#: must be present in every record of that experiment
+EXPERIMENT_CONTRACTS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "e14": (
+        ("requests_per_second_sequential",
+         "requests_per_second_flexible_b64",
+         "flexible_b64_over_sequential_median"),
+        ("flexible_b64_median_speedup_above",),
+    ),
+}
+
+
 def check_record(name: str, record: dict, problems: list[str]) -> None:
     """Validate one experiment record (a flat artifact or one section)."""
     for block in REQUIRED_BLOCKS:
         if block not in record:
             problems.append(f"{name}: missing '{block}' block")
+    contract = EXPERIMENT_CONTRACTS.get(record.get("experiment", ""))
+    if contract is not None:
+        metric_keys, claim_keys = contract
+        have_metrics = record.get("metrics") or {}
+        have_claims = record.get("claims") or {}
+        for key in metric_keys:
+            if key not in have_metrics:
+                problems.append(f"{name}: missing contract metric '{key}'")
+        for key in claim_keys:
+            if key not in have_claims:
+                problems.append(f"{name}: missing contract claim '{key}'")
     metrics = record.get("metrics")
     if not isinstance(metrics, dict):
         if "metrics" in record:

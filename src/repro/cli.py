@@ -17,7 +17,11 @@ Commands
 
 ``demo``, ``engine``, and ``sweep`` accept ``--batch-size N`` (drive
 requests through the transactional ``apply_batch`` API in bursts of N),
-``--atomic-batches`` (all-or-nothing bursts), and ``--backend
+``--atomic-batches`` (all-or-nothing bursts), ``--batch-semantics
+{strict,flexible}`` (``flexible`` plans each burst jointly — deletes
+coalesced, interior insert/delete pairs elided, surviving inserts
+placed in span order; bounds-equivalent rather than
+placement-identical), and ``--backend
 {auto,sequential,batched,sharded}`` — the session drive backend;
 ``sharded`` fans each burst out to per-machine shard workers on
 delegating scheduler stacks. ``--shard-workers {serial,threads,
@@ -52,7 +56,7 @@ from .baselines import (
     NaivePeckingScheduler,
 )
 from .core.api import ReservationScheduler
-from .core.base import SHARD_WORKER_MODES
+from .core.base import BATCH_SEMANTICS, SHARD_WORKER_MODES
 from .core.requests import RequestSequence
 from .sim import (
     format_table,
@@ -112,6 +116,7 @@ def cmd_demo(args) -> int:
     sched = ReservationScheduler(args.machines, gamma=8)
     result = run_sequence(sched, seq, batch_size=args.batch_size,
                           atomic_batches=args.atomic_batches,
+                          batch_semantics=args.batch_semantics,
                           backend=args.backend,
                           shard_workers=resolve_shard_workers(args))
     rows = [[k, v] for k, v in result.summary.items()]
@@ -119,6 +124,8 @@ def cmd_demo(args) -> int:
     if args.batch_size > 1:
         title += (f", batch={args.batch_size}"
                   f"{' atomic' if args.atomic_batches else ''}")
+    if args.batch_semantics != "strict":
+        title += f", semantics={args.batch_semantics}"
     if args.backend != "auto":
         title += f", backend={args.backend}"
     print(format_table(["metric", "value"], rows, title=title))
@@ -171,6 +178,7 @@ def cmd_engine(args) -> int:
         sched, seq,
         batch_size=args.batch_size,
         atomic_batches=args.atomic_batches,
+        batch_semantics=args.batch_semantics,
         backend=args.backend,
         shard_workers=resolve_shard_workers(args),
         verify=args.verify,
@@ -215,6 +223,7 @@ def cmd_sweep(args) -> int:
     results = run_sweep(scenarios, factories, verify=args.verify,
                         batch_size=args.batch_size,
                         atomic_batches=args.atomic_batches,
+                        batch_semantics=args.batch_semantics,
                         backend=args.backend,
                         shard_workers=resolve_shard_workers(args),
                         stop_after=args.stop_after,
@@ -326,6 +335,14 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="atomic_batches",
                        help="apply each batch all-or-nothing (rolls the "
                             "whole burst back on a mid-batch failure)")
+        p.add_argument("--batch-semantics", default="strict",
+                       dest="batch_semantics",
+                       choices=list(BATCH_SEMANTICS),
+                       help="burst semantics: 'strict' replays bursts "
+                            "request-for-request (placement-identical); "
+                            "'flexible' plans each burst jointly — "
+                            "bounds-equivalent placements, lower cost "
+                            "on churny bursts")
         p.add_argument("--backend", default="auto",
                        choices=["auto", "sequential", "batched", "sharded"],
                        help="session drive backend; 'sharded' hands each "

@@ -23,7 +23,7 @@ migration.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from ..alignment.align import align_job
 from ..analysis.sanitize import sanitize_enabled
@@ -34,7 +34,8 @@ from .base import ReallocatingScheduler, _BatchContext
 from .costs import BatchResult, RequestCost
 from .exceptions import InvalidRequestError
 from .job import Job, JobId, Placement
-from .requests import Batch, InsertJob, Request
+from .requests import Batch, DeleteJob, InsertJob, Request
+from .window import Window
 
 
 class ReservationScheduler(ReallocatingScheduler):
@@ -141,7 +142,17 @@ class ReservationScheduler(ReallocatingScheduler):
     def supports_atomic_batches(self) -> bool:
         return self.delegator.supports_atomic_batches()
 
-    def _batch_prepare(self, inserts: list[Job]) -> None:
+    def _flexible_insert_order_key(self) -> "Callable[[Job], Any] | None":
+        """The whole stack agrees on the delegation layer's order."""
+        return self.delegator._flexible_insert_order_key()
+
+    def _flexible_size_hint(self, deletes: list[DeleteJob],
+                            inserts: list[Job]) -> None:
+        """Pass the planned net size change down to the delegation."""
+        self.delegator._flexible_size_hint(deletes, inserts)
+
+    def _batch_prepare(self, inserts: list[Job], *,
+                       flexible: bool = False) -> None:
         """Align the batch's windows once and plan the delegation.
 
         Alignment is a total pure function of the job, so precomputing
@@ -149,15 +160,32 @@ class ReservationScheduler(ReallocatingScheduler):
         jobs are what the delegator grouping must key on. Per-id queues
         keep repeated ids (insert, delete, insert again) paired with
         the right insert, since the batch consumes them in order.
+
+        A flexible batch's insert phase is elision-free and runs after
+        the coalesced deletes, so ``ALIGNED(W)`` is additionally
+        memoized per *distinct window* — one alignment computation per
+        touched window instead of per request (burst arrivals reuse a
+        focus window heavily).
         """
         memo: dict[JobId, deque[Job]] = {}
         aligned: list[Job] = []
-        for job in inserts:
-            eff = align_job(job)
-            memo.setdefault(job.id, deque()).append(eff)
-            aligned.append(eff)
+        if flexible:
+            window_memo: dict[Window, Window] = {}
+            for job in inserts:
+                win = window_memo.get(job.window)
+                if win is None:
+                    win = job.window.aligned_within()
+                    window_memo[job.window] = win
+                eff = job.with_window(win)
+                memo.setdefault(job.id, deque()).append(eff)
+                aligned.append(eff)
+        else:
+            for job in inserts:
+                eff = align_job(job)
+                memo.setdefault(job.id, deque()).append(eff)
+                aligned.append(eff)
         self._align_memo = memo
-        self.delegator._batch_prepare(aligned)
+        self.delegator._batch_prepare(aligned, flexible=flexible)
 
     def _batch_begin(self, *, atomic: bool, top: bool,
                      ephemeral: bool = False,
@@ -188,6 +216,7 @@ class ReservationScheduler(ReallocatingScheduler):
         *,
         workers: str | None = None,
         parallel: bool = False,
+        semantics: str = "strict",
     ) -> BatchResult:
         """Drive a burst shard-first through the delegation layer.
 
@@ -199,6 +228,10 @@ class ReservationScheduler(ReallocatingScheduler):
         request against its own view (original jobs, hence original —
         not aligned — max spans) exactly as sequential processing would,
         keeping ledger entries bit-identical to ``apply``/``apply_batch``.
+        ``semantics="flexible"`` plans the aligned burst jointly inside
+        the delegation layer; the costs still come back one per request
+        at arrival positions (elided pairs as zero-cost entries), so
+        the re-costing zip below is semantics-agnostic.
         """
         batch = requests if isinstance(requests, Batch) else Batch(requests)
         if self._batch is not None:
@@ -209,7 +242,8 @@ class ReservationScheduler(ReallocatingScheduler):
             for r in batch
         ])
         inner = self.delegator.apply_batch_sharded(
-            aligned, workers=workers, parallel=parallel, record=False)
+            aligned, workers=workers, parallel=parallel, record=False,
+            semantics=semantics)
         if inner.failed:
             return BatchResult(
                 costs=[], net=None, size=len(batch), atomic=True,

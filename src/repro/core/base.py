@@ -23,12 +23,13 @@ Batch contract
 --------------
 Real traffic arrives in bursts, so the public API is batch-first:
 :meth:`ReallocatingScheduler.apply_batch` applies a whole
-:class:`~repro.core.requests.Batch` under ONE batch context. Requests
-are applied strictly in order and every per-request
-:class:`RequestCost` is measured and recorded exactly as sequential
-``apply`` would — a committed batch leaves placements, ledger totals,
-and max-span tracking bit-identical to processing the same requests one
-at a time (the batch-equivalence property, enforced by the test suite).
+:class:`~repro.core.requests.Batch` under ONE batch context. Under the
+default ``semantics="strict"`` requests are applied strictly in order
+and every per-request :class:`RequestCost` is measured and recorded
+exactly as sequential ``apply`` would — a committed batch leaves
+placements, ledger totals, and max-span tracking bit-identical to
+processing the same requests one at a time (the batch-equivalence
+property, enforced by the test suite).
 What the batch amortizes is bookkeeping, not semantics:
 
 - one touched-placement log spans the burst, finalizing a single sparse
@@ -49,12 +50,44 @@ the whole burst back and leave the scheduler usable, as if the batch
 had never been submitted. ``apply_batch`` never raises for scheduler
 failures (:class:`~repro.core.exceptions.ReproError`) — it reports them
 in the :class:`~repro.core.costs.BatchResult` so drivers can decide.
+
+Flexible semantics
+------------------
+``apply_batch(..., semantics="flexible")`` relaxes the bit-identical
+pin to a *bounds-equivalence* contract: the committed job table,
+max-span tracking, and feasibility are identical to strict processing,
+every per-request measured cost stays within the Theorem 1 bound
+(strict mode is the bounded oracle), but placements and individual
+ledger entries are free. The planner (:meth:`_plan_flexible`) exploits
+that freedom without bypassing the per-request cost model:
+
+- interior insert/delete pairs born and retired inside the burst are
+  *elided* — neither touches the schedule; both still get (zero-cost)
+  ledger entries so the ledger stays one entry per request;
+- deletes of pre-existing jobs are coalesced up front (arrival order),
+  so :meth:`_batch_prepare` plans the surviving inserts against the
+  post-delete state — one target computation per touched window;
+- surviving inserts run jointly, ordered by the stack's
+  :meth:`_flexible_insert_order_key` (span-ascending for the
+  reservation stacks, mirroring the trimming rebuild order), which
+  avoids intra-burst displacement/move chains.
+
+Every planned operation still executes through :meth:`insert` /
+:meth:`delete` under the normal batch context, so atomic rollback, the
+undo arena, sanitizer first-touch accounting, and the journal-coverage
+contracts apply to flexible batches unchanged — a reordered valid
+sequence is still a valid sequence, so Theorem 1's per-request bound
+holds for every planned op. Per-request ledger entries are re-ordered
+back to arrival positions at commit. A batch whose per-id op streams
+are not protocol-valid against the pre-batch job set (duplicate
+inserts, deletes of absent jobs) degrades to strict application, which
+reports the error at its arrival position.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from .costs import BatchResult, CostLedger, RequestCost, diff_placements, diff_touched
 from .exceptions import InvalidRequestError, ReproError
@@ -65,6 +98,20 @@ from .requests import Batch, DeleteJob, InsertJob, Request
 #: (the hook-point layer) and imported by the delegation layer, the
 #: session backends, and the CLI's argparse choices
 SHARD_WORKER_MODES = ("serial", "threads", "processes")
+
+#: batch placement semantics — ``"strict"`` pins placements/ledger to
+#: sequential equivalence; ``"flexible"`` keeps only the
+#: bounds-equivalence contract (see the module docstring). Imported by
+#: the session backends and the CLI's argparse choices.
+BATCH_SEMANTICS = ("strict", "flexible")
+
+
+def resolve_batch_semantics(semantics: str) -> str:
+    """Validate a batch-semantics selector (single definition point)."""
+    if semantics not in BATCH_SEMANTICS:
+        raise InvalidRequestError(
+            f"semantics must be one of {BATCH_SEMANTICS}, got {semantics!r}")
+    return semantics
 
 
 def resolve_shard_worker_mode(workers: str | None,
@@ -395,13 +442,17 @@ class ReallocatingScheduler(abc.ABC):
         requests: Batch | Iterable[Request],
         *,
         atomic: bool = False,
+        semantics: str = "strict",
     ) -> BatchResult:
         """Apply a burst of requests under one batch context.
 
-        Requests are applied strictly in order; per-request costs enter
-        the ledger exactly as sequential :meth:`apply` would, and one
-        batch-level net diff is finalized at commit. See the module
-        docstring for the full batch contract.
+        Under ``semantics="strict"`` requests are applied strictly in
+        order; per-request costs enter the ledger exactly as sequential
+        :meth:`apply` would, and one batch-level net diff is finalized
+        at commit. ``semantics="flexible"`` plans the burst jointly
+        (deletes coalesced first, interior insert/delete pairs elided,
+        surviving inserts reordered) under the bounds-equivalence
+        contract. See the module docstring for both contracts.
 
         Parameters
         ----------
@@ -411,14 +462,27 @@ class ReallocatingScheduler(abc.ABC):
             :meth:`supports_atomic_batches`. Without it, a failure
             commits the preceding requests and rolls back only the
             failing one (sequential semantics).
+        semantics:
+            ``"strict"`` (default) or ``"flexible"``.
         """
         batch = requests if isinstance(requests, Batch) else Batch(requests)
+        resolve_batch_semantics(semantics)
         if self._batch is not None:
             raise InvalidRequestError("apply_batch cannot be nested")
         if atomic and not self.supports_atomic_batches():
             raise InvalidRequestError(
                 f"{type(self).__name__} does not support atomic batches"
             )
+        if semantics == "flexible":
+            plan = self._plan_flexible(batch)
+            if plan is not None:
+                deletes, inserts, elided = plan
+                return self._apply_batch_flexible(
+                    batch, atomic=atomic, deletes=deletes,
+                    inserts=inserts, elided=elided,
+                )
+            # Protocol-invalid op streams degrade to strict application,
+            # which reports the error at its arrival position.
         self._batch_begin(atomic=atomic, top=True)
         costs: list[RequestCost] = []
         error: ReproError | None = None
@@ -475,6 +539,184 @@ class ReallocatingScheduler(abc.ABC):
         )
 
     # ------------------------------------------------------------------
+    # flexible semantics (joint burst planning)
+    # ------------------------------------------------------------------
+    def _flexible_insert_order_key(self) -> "Callable[[Job], Any] | None":
+        """Sort key over :class:`Job` for the flexible insert phase.
+
+        None (the default) keeps arrival order. Reservation stacks
+        return a span-ascending key — the same order the trimming
+        rebuild uses — so a joint burst places small-span jobs before
+        the large-span jobs that could displace them, avoiding
+        intra-burst move chains. Wrappers delegate to their inner
+        scheduler so the whole stack agrees on one order.
+        """
+        return None
+
+    def _plan_flexible(
+        self, batch: Batch
+    ) -> "tuple[list[tuple[int, DeleteJob]], list[tuple[int, InsertJob]], list[tuple[int, Request]]] | None":
+        """Joint plan for a flexible batch, or None to degrade to strict.
+
+        Folds the batch into per-id op streams against the pre-batch job
+        set. Interior insert/delete pairs (a job born and retired inside
+        the burst) are elided; what survives is at most one leading
+        delete of a pre-existing job and at most one trailing insert per
+        id. Returns ``(deletes, inserts, elided)`` — each a list of
+        ``(arrival_index, request)`` pairs; deletes keep arrival order,
+        inserts are reordered by :meth:`_flexible_insert_order_key`.
+        Returns None when any stream is protocol-invalid (duplicate
+        insert, delete of an absent id), so the strict path can surface
+        the error exactly as sequential processing would.
+        """
+        active = self.jobs
+        #: id -> live within the planned timeline (absent = pre-batch state)
+        state: dict[JobId, bool] = {}
+        #: batch-born live inserts, by id (insertion-ordered)
+        pending: dict[JobId, tuple[int, InsertJob]] = {}
+        deletes: list[tuple[int, DeleteJob]] = []
+        elided: list[tuple[int, Request]] = []
+        for index, request in enumerate(batch):
+            if isinstance(request, InsertJob):
+                job_id = request.job.id
+                if state.get(job_id, job_id in active):
+                    return None  # insert of an already-active id
+                state[job_id] = True
+                pending[job_id] = (index, request)
+            elif isinstance(request, DeleteJob):
+                job_id = request.job_id
+                if not state.get(job_id, job_id in active):
+                    return None  # delete of an inactive id
+                state[job_id] = False
+                born = pending.pop(job_id, None)
+                if born is not None:
+                    elided.append(born)
+                    elided.append((index, request))
+                else:
+                    deletes.append((index, request))
+            else:
+                return None  # unknown request kind: strict reports it
+        inserts = sorted(pending.values())
+        key = self._flexible_insert_order_key()
+        if key is not None:
+            # decorate-sort-undecorate: the key tuples compare directly,
+            # with the arrival index as a deterministic tiebreak
+            decorated = [(key(request.job), index, request)
+                         for index, request in inserts]
+            decorated.sort()
+            inserts = [(index, request) for _, index, request in decorated]
+        return deletes, inserts, elided
+
+    def _elided_cost(self, request: Request) -> RequestCost:
+        """Zero-cost ledger entry for an elided insert/delete pair.
+
+        The pair never touched the schedule, so nothing was rescheduled
+        or migrated; ``n_active``/``max_span`` carry the post-batch
+        values (the entry does not correspond to a schedule state of its
+        own).
+        """
+        if isinstance(request, InsertJob):
+            kind, subject = "insert", request.job.id
+        else:
+            kind, subject = "delete", request.job_id
+        return RequestCost(
+            kind=kind, subject=subject,
+            rescheduled=frozenset(), migrated=frozenset(),
+            n_active=len(self.jobs), max_span=self._max_span_cache,
+        )
+
+    def _apply_batch_flexible(
+        self,
+        batch: Batch,
+        *,
+        atomic: bool,
+        deletes: list[tuple[int, DeleteJob]],
+        inserts: list[tuple[int, InsertJob]],
+        elided: list[tuple[int, Request]],
+    ) -> BatchResult:
+        """Drive a planned flexible batch (deletes, then joint inserts).
+
+        Every planned op runs through the normal :meth:`insert` /
+        :meth:`delete` request path under the batch context, so rollback
+        and cost accounting are untouched; :meth:`_batch_prepare` runs
+        *between* the phases, planning the surviving inserts against the
+        post-delete state. At commit the batch's ledger slice is
+        permuted back to arrival order and elided requests receive
+        zero-cost entries, keeping the ledger one-entry-per-request.
+        """
+        self._batch_begin(atomic=atomic, top=True)
+        self._flexible_size_hint([request for _, request in deletes],
+                                 [request.job for _, request in inserts])
+        applied: list[RequestCost] = []
+        planned: list[tuple[int, Request]] = [*deletes, *inserts]
+        error: ReproError | None = None
+        failed_index: int | None = None
+        try:
+            for index, request in deletes:
+                try:
+                    applied.append(self.delete(request.job_id))
+                except ReproError as exc:
+                    error, failed_index = exc, index
+                    break
+            if error is None:
+                self._batch_prepare([item[1].job for item in inserts],
+                                    flexible=True)
+                for index, insert_request in inserts:
+                    try:
+                        applied.append(self.insert(insert_request.job))
+                    except ReproError as exc:
+                        error, failed_index = exc, index
+                        break
+        except BaseException:
+            # Unexpected failure: restore what we can, then propagate.
+            if atomic:
+                self._batch_abort()
+            else:
+                self._batch_commit()
+            raise
+        if error is not None and atomic:
+            self._batch_abort()
+            return BatchResult(
+                costs=applied, net=None, size=len(batch), atomic=True,
+                failed=True, failed_index=failed_index,
+                failure=f"{type(error).__name__}: {error}",
+                rolled_back=True, error=error,
+            )
+        ctx = self._batch
+        # Per-request ledger entries return to arrival order; elided
+        # net-zero pairs commit as explicit zero-cost entries. On a
+        # non-atomic failure only the applied planned prefix (plus the
+        # no-op elided pairs) committed — failed_index names the failing
+        # request's arrival position.
+        by_index: dict[int, RequestCost] = {
+            planned[k][0]: applied[k] for k in range(len(applied))
+        }
+        for index, request in elided:
+            by_index[index] = self._elided_cost(request)
+        costs = [by_index[i] for i in sorted(by_index)]
+        self.ledger.entries[ctx.ledger_len:] = costs
+        if self._sparse_costing:
+            net = diff_touched(
+                ctx.touched, self.placements,
+                kind="batch", subject="batch",
+                n_active=len(self.jobs), max_span=self._max_span_cache,
+            )
+        else:
+            net = diff_placements(
+                ctx.before, self.placements,
+                kind="batch", subject="batch",
+                n_active=len(self.jobs), max_span=self._max_span_cache,
+            )
+        self._batch_commit()
+        return BatchResult(
+            costs=costs, net=net, size=len(batch), atomic=atomic,
+            failed=error is not None, failed_index=failed_index,
+            failure=(None if error is None
+                     else f"{type(error).__name__}: {error}"),
+            error=error,
+        )
+
+    # ------------------------------------------------------------------
     # batch plumbing (overridden by wrapper schedulers)
     # ------------------------------------------------------------------
     def supports_atomic_batches(self) -> bool:
@@ -500,6 +742,7 @@ class ReallocatingScheduler(abc.ABC):
         *,
         workers: str | None = None,
         parallel: bool = False,
+        semantics: str = "strict",
     ) -> BatchResult:
         """Apply a burst via per-shard workers (delegating stacks only).
 
@@ -510,6 +753,9 @@ class ReallocatingScheduler(abc.ABC):
         or ``"processes"`` — persistent worker processes holding the
         per-machine sub-schedulers across bursts); ``parallel=True`` is
         the deprecated spelling of ``workers="threads"``.
+        ``semantics="flexible"`` plans the burst jointly first (the
+        bounds-equivalence contract), with per-request costs reported
+        at arrival positions exactly as :meth:`apply_batch` does.
         """
         raise InvalidRequestError(
             f"{type(self).__name__} does not support sharded batches"
@@ -526,8 +772,31 @@ class ReallocatingScheduler(abc.ABC):
         performs it implicitly).
         """
 
-    def _batch_prepare(self, inserts: list[Job]) -> None:
-        """Hook: plan the batch from its insert jobs (grouping, memos)."""
+    def _batch_prepare(self, inserts: list[Job], *,
+                       flexible: bool = False) -> None:
+        """Hook: plan the batch from its insert jobs (grouping, memos).
+
+        ``flexible=True`` marks a flexible batch's insert phase: the
+        hook runs *after* the coalesced deletes, ``inserts`` is the
+        planner's (reordered, elision-free) insert list, and the
+        inserts will be applied in exactly this order with no
+        intervening deletes — so plans may key off live post-delete
+        state and may memoize per touched window.
+        """
+
+    def _flexible_size_hint(self, deletes: list[DeleteJob],
+                            inserts: list[Job]) -> None:
+        """Hook: announce a flexible batch's planned net size change.
+
+        Called once per flexible batch, right after the batch context
+        opens (so any state it changes is covered by the atomic
+        snapshot) and before the coalesced deletes run. Size-adaptive
+        layers (n*-trimming) may pre-size for the planned final job
+        count instead of rebuilding at every mid-batch threshold
+        crossing; placements are free under the flexible contract, so
+        the skipped rebuilds only change them, never the job table,
+        max-span, or feasibility.
+        """
 
     #: pass-through wrappers whose placements restore entirely through a
     #: child's abort set this False to skip batch touched-log upkeep

@@ -13,7 +13,13 @@ the feasibility checker and the workload generators use.
 ordered chunk of requests submitted to
 ``ReallocatingScheduler.apply_batch`` as one (optionally atomic)
 transaction. :func:`iter_batches` chunks any request stream into
-batches.
+batches. Under ``semantics="flexible"`` the scheduler may *plan* a
+batch jointly — coalescing deletes ahead of inserts, eliding interior
+insert/delete pairs, and reordering the surviving inserts — as long as
+the observable protocol is preserved: one ledger entry per request at
+its arrival position, the same post-batch job table, and every
+per-request cost within the Theorem 1 bounds (see
+``ReallocatingScheduler.apply_batch``).
 """
 
 from __future__ import annotations

@@ -43,11 +43,12 @@ from __future__ import annotations
 
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from ..core.base import (
     ReallocatingScheduler,
     _BatchContext,
+    resolve_batch_semantics,
     resolve_shard_worker_mode,
 )
 from ..core.costs import BatchResult, RequestCost, diff_touched
@@ -462,7 +463,31 @@ class DelegatingScheduler(ReallocatingScheduler):
     def supports_atomic_batches(self) -> bool:
         return all(sub.supports_atomic_batches() for sub in self.machines)
 
-    def _batch_prepare(self, inserts: list[Job]) -> None:
+    def _flexible_insert_order_key(self) -> "Callable[[Job], Any] | None":
+        """Adopt the per-machine sub-schedulers' preferred joint order."""
+        return self.machines[0]._flexible_insert_order_key()
+
+    def _flexible_size_hint(self, deletes: list[DeleteJob],
+                            inserts: list[Job]) -> None:
+        """Forward the planned net size change to each machine.
+
+        Deletes are counted on the machine holding the job; inserts are
+        not yet assigned to machines at hint time, so every machine
+        receives the full insert list as its upper bound. An n*
+        overshoot from the bound only widens trim spans, which is safe
+        (see :meth:`TrimmedReservationScheduler._flexible_size_hint`).
+        """
+        per_machine: list[list[DeleteJob]] = [
+            [] for _ in range(self.num_machines)
+        ]
+        machine_of = self.balancer.machine_of
+        for request in deletes:
+            per_machine[machine_of(request.job_id)].append(request)
+        for machine, sub in enumerate(self.machines):
+            sub._flexible_size_hint(per_machine[machine], inserts)
+
+    def _batch_prepare(self, inserts: list[Job], *,
+                       flexible: bool = False) -> None:
         """Group the batch's inserts per window and plan their machines.
 
         The plan is the round-robin continuation for each window's
@@ -471,6 +496,9 @@ class DelegatingScheduler(ReallocatingScheduler):
         plan (its round-robin position moved) and those inserts fall
         back to the live choice. Sequential equivalence is exact: the
         planned machine equals ``choose_insert_machine`` at apply time.
+        A flexible batch's insert phase runs after its coalesced
+        deletes with no deletes interleaved, so the same plan built
+        from the live (post-delete) counts is exact there too.
         """
         groups: dict[Window, int] = {}
         for job in inserts:
@@ -629,6 +657,7 @@ class DelegatingScheduler(ReallocatingScheduler):
         workers: str | None = None,
         parallel: bool = False,
         record: bool = True,
+        semantics: str = "strict",
     ) -> BatchResult:
         """Apply a burst by handing each machine's sub-batch to a worker.
 
@@ -670,8 +699,17 @@ class DelegatingScheduler(ReallocatingScheduler):
 
         ``record=False`` suspends ledger recording, for wrapper layers
         (alignment) that re-cost the burst against their own view.
+
+        ``semantics="flexible"`` runs the joint burst planner first
+        (:meth:`~repro.core.base.ReallocatingScheduler._plan_flexible`):
+        the *planned* request stream — coalesced deletes, then the
+        reordered elision-free inserts — is what shards and merges, and
+        per-request costs are mapped back to arrival positions (elided
+        pairs as zero-cost entries) before recording, so callers see
+        one cost per submitted request either way.
         """
         mode = resolve_shard_worker_mode(workers, parallel)
+        resolve_batch_semantics(semantics)
         batch = requests if isinstance(requests, Batch) else Batch(requests)
         if self._batch is not None:
             raise InvalidRequestError(
@@ -681,6 +719,54 @@ class DelegatingScheduler(ReallocatingScheduler):
                 f"{type(self).__name__} sub-schedulers do not support the "
                 "atomic batch contexts sharded bursts abort through"
             )
+        if semantics == "flexible":
+            # Plan against the authoritative job set (synced back from
+            # any open worker pool first).
+            self._leave_process_mode()
+            flex = self._plan_flexible(batch)
+            if flex is not None:
+                return self._sharded_flexible(batch, flex, mode,
+                                              record=record)
+            # Protocol-invalid op streams degrade to strict application.
+        return self._sharded_dispatch(batch, mode, record=record)
+
+    def _sharded_flexible(
+        self,
+        batch: Batch,
+        flex: "tuple[list[tuple[int, DeleteJob]], list[tuple[int, InsertJob]], list[tuple[int, Request]]]",
+        mode: str,
+        *,
+        record: bool,
+    ) -> BatchResult:
+        """Shard a planned flexible burst and re-map costs to arrival order."""
+        deletes, inserts, elided = flex
+        planned = [*deletes, *inserts]
+        order = [index for index, _ in planned]
+        inner = self._sharded_dispatch(
+            Batch([request for _, request in planned]), mode, record=False)
+        if inner.failed:
+            failed_index = inner.failed_index
+            if failed_index is not None:
+                failed_index = order[failed_index]
+            return BatchResult(
+                costs=[], net=None, size=len(batch), atomic=True,
+                failed=True, failed_index=failed_index,
+                failure=inner.failure, rolled_back=True, error=inner.error,
+            )
+        by_index = {order[k]: inner.costs[k] for k in range(len(inner.costs))}
+        for index, request in elided:
+            by_index[index] = self._elided_cost(request)
+        costs = [by_index[i] for i in range(len(batch))]
+        if record:
+            record_cost = self.ledger.record
+            for cost in costs:
+                record_cost(cost)
+        return BatchResult(costs=costs, net=inner.net, size=len(batch),
+                           atomic=True)
+
+    def _sharded_dispatch(self, batch: Batch, mode: str, *,
+                          record: bool) -> BatchResult:
+        """Run one (already validated) burst in the selected worker mode."""
         if mode == "processes":
             return self._sharded_burst_processes(batch, record=record)
         self._leave_process_mode()

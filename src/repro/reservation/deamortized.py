@@ -36,14 +36,14 @@ on every insert.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Mapping
 
 from ..core.base import ReallocatingScheduler, _BatchContext
 from ..core.exceptions import InvalidRequestError
 from ..core.job import Job, JobId, Placement
 from ..core.window import Window
 from ..levels.policy import LevelPolicy, PAPER_POLICY
-from .scheduler import AlignedReservationScheduler
+from .scheduler import AlignedReservationScheduler, flexible_span_order
 from .trimming import trim_aligned
 
 
@@ -257,6 +257,10 @@ class DeamortizedReservationScheduler(ReallocatingScheduler):
     # ------------------------------------------------------------------
     def supports_atomic_batches(self) -> bool:
         return True
+
+    def _flexible_insert_order_key(self) -> "Callable[[Job], object] | None":
+        """Joint inserts span-ascending (matches the migration drain order)."""
+        return flexible_span_order
 
     def _batch_begin(self, *, atomic: bool, top: bool,
                      ephemeral: bool = False,

@@ -116,6 +116,19 @@ from .window_state import WindowState, rr_diff
 _MISSING = object()
 
 
+def flexible_span_order(job: Job) -> tuple[int, int, str]:
+    """Span-ascending joint insert order for flexible batches.
+
+    The same ``(span, release, id)`` order the trimming rebuild uses:
+    placing small-span jobs first means later (larger-span) inserts can
+    only displace *upward* in the pecking order, so a joint burst never
+    builds the insert-then-displace move chains an arrival-order burst
+    can. Shared by every layer of the reservation stack via
+    ``_flexible_insert_order_key`` so the whole stack agrees.
+    """
+    return (job.span, job.release, str(job.id))
+
+
 def _closure_pop(d: dict, key: Hashable) -> Callable[[], None]:
     """Closure-journal oracle entry equivalent to ``(OP_POP, d, key)``."""
     return lambda: d.pop(key, None)
@@ -579,6 +592,9 @@ class AlignedReservationScheduler(ReallocatingScheduler):
     # ------------------------------------------------------------------
     def supports_atomic_batches(self) -> bool:
         return True
+
+    def _flexible_insert_order_key(self) -> "Callable[[Job], object] | None":
+        return flexible_span_order
 
     def _batch_begin(self, *, atomic: bool, top: bool,
                      ephemeral: bool = False,

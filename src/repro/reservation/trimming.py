@@ -23,15 +23,16 @@ the trimmed instance is feasible for the true instance.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Mapping
 
 from ..core.base import ReallocatingScheduler, _BatchContext
 from ..core.events import EventTracer, NullTracer
 from ..core.exceptions import InvalidRequestError
 from ..core.job import Job, JobId, Placement
+from ..core.requests import DeleteJob
 from ..core.window import Window
 from ..levels.policy import LevelPolicy, PAPER_POLICY
-from .scheduler import AlignedReservationScheduler
+from .scheduler import AlignedReservationScheduler, flexible_span_order
 
 
 def trim_aligned(window: Window, max_span: int) -> Window:
@@ -103,6 +104,9 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         #: journal entries recorded by inners replaced in rebuilds
         #: (``journal_entries_total`` folds the live inner back in)
         self._journal_entries_carry = 0
+        #: planned final job count of the current flexible batch
+        #: (None outside flexible batches; see _flexible_size_hint)
+        self._flex_final_hint: int | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -135,6 +139,13 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         self._merge_touched(self.inner.last_touched)
         active = len(self.jobs) - 1  # base class removes after we return
         if active < self.n_star // 4 and self.n_star > self.min_n_star:
+            hint = self._flex_final_hint
+            if hint is not None and hint >= self.n_star // 4:
+                # Flexible burst with a planned refill: the batch's own
+                # inserts restore n >= n*/4 before the next request, so
+                # the halving rebuild (and the doubling rebuild that
+                # would follow it) is pure thrash.
+                return
             self._resize(max(self.min_n_star, self.n_star // 2))
 
     def _resize(self, new_n_star: int) -> None:
@@ -190,6 +201,35 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
     def supports_atomic_batches(self) -> bool:
         return self.inner.supports_atomic_batches()
 
+    def _flexible_insert_order_key(self) -> "Callable[[Job], object] | None":
+        """Joint inserts in rebuild order (span-ascending, see _resize)."""
+        return flexible_span_order
+
+    def _flexible_size_hint(self, deletes: list[DeleteJob],
+                            inserts: list[Job]) -> None:
+        """Pre-size n* for the batch's planned final count (no rebuild).
+
+        Raising n* without rebuilding is safe: already-placed jobs keep
+        their narrower trimmed windows, which nest inside the wider
+        trim bound, so every existing placement stays feasible, and
+        window-containment sets can only shrink — the instance stays
+        gamma-underallocated (Lemma 8's argument needs n <= n*, which
+        the planned final count satisfies by construction). Only
+        placements differ from the strict replay, which the flexible
+        contract allows; the rebuilds this skips were the dominant
+        per-batch cost under churn.
+
+        The hint runs after ``_batch_begin`` snapshotted ``n_star``, so
+        an atomic abort restores the pre-batch value exactly.
+        """
+        final = len(self.jobs) - len(deletes) + len(inserts)
+        target = self.n_star
+        while final > target:
+            target *= 2
+        if target > self.n_star:
+            self.n_star = target
+        self._flex_final_hint = final
+
     def _batch_begin(self, *, atomic: bool, top: bool,
                      ephemeral: bool = False,
                      emit_touched: bool = True) -> None:
@@ -201,6 +241,7 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         self.inner._batch_begin(atomic=atomic, top=False, ephemeral=ephemeral)
 
     def _batch_commit(self) -> None:
+        self._flex_final_hint = None
         super()._batch_commit()
         self.inner._batch_commit()
 
@@ -210,6 +251,7 @@ class TrimmedReservationScheduler(ReallocatingScheduler):
         # rebuild's carry increment rolls back with it, so
         # journal_entries_total matches a scheduler that never saw the
         # batch (the restored inner still holds its own lifetime count).
+        self._flex_final_hint = None
         (self.inner, self.n_star, self.rebuilds,
          self._journal_entries_carry) = ctx.saved["trim"]
         self.inner._batch_abort()

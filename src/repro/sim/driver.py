@@ -83,6 +83,7 @@ def run_sequence(
     *,
     batch_size: int = 1,
     atomic_batches: bool = False,
+    batch_semantics: str = "strict",
     backend: "str | DriveBackend" = "auto",
     shard_workers: str | None = None,
     shard_parallel: bool = False,
@@ -104,6 +105,10 @@ def run_sequence(
     atomic_batches:
         With ``batch_size > 1``: apply each burst all-or-nothing; a
         mid-batch failure rolls the burst back entirely.
+    batch_semantics:
+        ``"strict"`` (default, placement-identical replay) or
+        ``"flexible"`` (jointly planned bursts — bounds-equivalent, see
+        :class:`~repro.sim.session.ExecutionPlan`).
     backend:
         Drive backend: ``"auto"`` (default — batched when
         ``batch_size > 1``, else sequential), ``"sequential"``,
@@ -136,6 +141,7 @@ def run_sequence(
     plan = ExecutionPlan(
         batch_size=batch_size,
         atomic_batches=atomic_batches,
+        batch_semantics=batch_semantics,
         backend=backend,
         shard_workers=shard_workers,
         shard_parallel=shard_parallel,
@@ -166,6 +172,7 @@ def run_comparison(
     *,
     batch_size: int = 1,
     atomic_batches: bool = False,
+    batch_semantics: str = "strict",
     backend: "str | DriveBackend" = "auto",
     shard_workers: str | None = None,
     shard_parallel: bool = False,
@@ -181,6 +188,7 @@ def run_comparison(
             factory(), sequence,
             batch_size=batch_size,
             atomic_batches=atomic_batches,
+            batch_semantics=batch_semantics,
             backend=backend,
             shard_workers=shard_workers,
             shard_parallel=shard_parallel,

@@ -139,6 +139,7 @@ def run_engine(
     *,
     batch_size: int = 1,
     atomic_batches: bool = False,
+    batch_semantics: str = "strict",
     backend: "str | DriveBackend" = "auto",
     shard_workers: str | None = None,
     shard_parallel: bool = False,
@@ -166,6 +167,10 @@ def run_engine(
     atomic_batches:
         Batched backend: apply each burst all-or-nothing (the sharded
         backend is always transactional per burst).
+    batch_semantics:
+        ``"strict"`` (default, placement-identical replay) or
+        ``"flexible"`` (jointly planned bursts — bounds-equivalent, see
+        :class:`~repro.sim.session.ExecutionPlan`).
     backend:
         ``"auto"`` (default), ``"sequential"``, ``"batched"``,
         ``"sharded"``, or a DriveBackend instance.
@@ -200,6 +205,7 @@ def run_engine(
     plan = ExecutionPlan(
         batch_size=batch_size,
         atomic_batches=atomic_batches,
+        batch_semantics=batch_semantics,
         backend=backend,
         shard_workers=shard_workers,
         shard_parallel=shard_parallel,
@@ -267,6 +273,7 @@ def run_sweep(
     *,
     batch_size: int = 1,
     atomic_batches: bool = False,
+    batch_semantics: str = "strict",
     backend: "str | DriveBackend" = "auto",
     shard_workers: str | None = None,
     shard_parallel: bool = False,
@@ -314,6 +321,7 @@ def run_sweep(
                 factory(), sequence,
                 batch_size=batch_size,
                 atomic_batches=atomic_batches,
+                batch_semantics=batch_semantics,
                 backend=backend,
                 shard_workers=shard_workers,
                 shard_parallel=shard_parallel,

@@ -83,6 +83,7 @@ from typing import Any, Callable, Iterable, Iterator
 from ..core.base import (
     ReallocatingScheduler,
     SHARD_WORKER_MODES,
+    resolve_batch_semantics,
     resolve_shard_worker_mode,
 )
 from ..core.costs import BatchResult, CostLedger, RequestCost
@@ -132,6 +133,16 @@ class ExecutionPlan:
     atomic_batches:
         Batched backend only: apply each burst all-or-nothing. The
         sharded backend is always transactional per burst.
+    batch_semantics:
+        ``"strict"`` (default — bursts replay request-for-request, the
+        placement-identical oracle) or ``"flexible"`` (each burst is
+        planned jointly: deletes coalesced first, interior insert/delete
+        pairs elided, surviving inserts placed in span order; placements
+        may differ from strict but feasibility, the job table, max-span
+        tracking, and the Theorem 1 per-request cost bounds are
+        preserved). Applies to the batched and sharded backends; the
+        sequential backend ignores it (a size-1 step has nothing to
+        plan).
     backend:
         ``"sequential"``, ``"batched"``, ``"sharded"``, ``"auto"``
         (batched when ``batch_size > 1``, else sequential), or a
@@ -176,6 +187,7 @@ class ExecutionPlan:
 
     batch_size: int = 1
     atomic_batches: bool = False
+    batch_semantics: str = "strict"
     backend: "str | DriveBackend" = "auto"
     shard_workers: str | None = None
     shard_parallel: bool = False
@@ -205,6 +217,7 @@ class ExecutionPlan:
                 f"got {self.shard_workers!r}")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        resolve_batch_semantics(self.batch_semantics)
 
     @property
     def resolved_shard_workers(self) -> str:
@@ -286,8 +299,10 @@ class BatchedBackend(DriveBackend):
     name = "batched"
     chunked = True
 
-    def __init__(self, *, atomic: bool = False) -> None:
+    def __init__(self, *, atomic: bool = False,
+                 semantics: str = "strict") -> None:
         self.atomic = atomic
+        self.semantics = resolve_batch_semantics(semantics)
 
     def steps(self, sequence: Iterable[Request], plan: ExecutionPlan,
               skip: int = 0) -> Iterator[Batch]:
@@ -296,7 +311,8 @@ class BatchedBackend(DriveBackend):
 
     def apply(self, scheduler: ReallocatingScheduler,
               step: Batch) -> StepOutcome:
-        result = scheduler.apply_batch(step, atomic=self.atomic)
+        result = scheduler.apply_batch(step, atomic=self.atomic,
+                                       semantics=self.semantics)
         return StepOutcome(processed=result.processed, batch=result,
                            error=result.error if result.failed else None)
 
@@ -323,8 +339,10 @@ class ShardedBackend(DriveBackend):
     chunked = True
 
     def __init__(self, *, workers: str | None = None,
-                 parallel: bool = False) -> None:
+                 parallel: bool = False,
+                 semantics: str = "strict") -> None:
         self.workers = resolve_shard_worker_mode(workers, parallel)
+        self.semantics = resolve_batch_semantics(semantics)
 
     def prepare(self, scheduler: ReallocatingScheduler,
                 plan: ExecutionPlan) -> None:
@@ -342,7 +360,8 @@ class ShardedBackend(DriveBackend):
 
     def apply(self, scheduler: ReallocatingScheduler,
               step: Batch) -> StepOutcome:
-        result = scheduler.apply_batch_sharded(step, workers=self.workers)
+        result = scheduler.apply_batch_sharded(step, workers=self.workers,
+                                               semantics=self.semantics)
         return StepOutcome(processed=result.processed, batch=result,
                            error=result.error if result.failed else None)
 
@@ -361,8 +380,10 @@ def resolve_backend(plan: ExecutionPlan) -> DriveBackend:
     if backend == "sequential":
         return SequentialBackend()
     if backend == "batched":
-        return BatchedBackend(atomic=plan.atomic_batches)
-    return ShardedBackend(workers=plan.resolved_shard_workers)
+        return BatchedBackend(atomic=plan.atomic_batches,
+                              semantics=plan.batch_semantics)
+    return ShardedBackend(workers=plan.resolved_shard_workers,
+                          semantics=plan.batch_semantics)
 
 
 # ----------------------------------------------------------------------
@@ -683,6 +704,7 @@ class Session:
             "backend": self.backend.name,
             "batch_size": self.plan.batch_size,
             "atomic": self.plan.atomic_batches,
+            "semantics": self.plan.batch_semantics,
             "verify": self.plan.verify,
             "full_audit_every": self.plan.full_audit_every,
             "total": total,
